@@ -1,0 +1,76 @@
+//! A-1: ablation of IMeP's communication protocol — the paper-faithful
+//! variant (centralised h, last-row returns to the master, binomial
+//! broadcasts) against each optimisation, isolating what each costs or
+//! saves in virtual time and traffic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use greenla_bench::system;
+use greenla_cluster::placement::Placement;
+use greenla_cluster::spec::ClusterSpec;
+use greenla_cluster::PowerModel;
+use greenla_ime::{solve_imep, ImepOptions};
+use greenla_mpi::Machine;
+
+fn run_variant(sys: &greenla_linalg::LinearSystem, opts: ImepOptions) -> (f64, u64) {
+    let spec = ClusterSpec::test_cluster(4, 4);
+    let placement = Placement::packed(&spec.node, 16).unwrap();
+    let power = PowerModel::scaled_deterministic(&spec.node);
+    let machine = Machine::new(spec, placement, power, 66).unwrap();
+    let out = machine.run(|ctx| {
+        let world = ctx.world();
+        solve_imep(ctx, &world, sys, opts).unwrap()
+    });
+    (out.makespan, out.traffic.msgs)
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let sys = system(192);
+    let variants: [(&str, ImepOptions); 5] = [
+        ("paper", ImepOptions::paper()),
+        (
+            "no-last-rows",
+            ImepOptions {
+                collect_last_rows: false,
+                ..ImepOptions::paper()
+            },
+        ),
+        (
+            "local-h",
+            ImepOptions {
+                centralized_h: false,
+                ..ImepOptions::paper()
+            },
+        ),
+        (
+            "pipelined-bcast",
+            ImepOptions {
+                pipelined_bcast: true,
+                ..ImepOptions::paper()
+            },
+        ),
+        ("optimized", ImepOptions::optimized()),
+    ];
+
+    eprintln!("\nA-1 IMeP protocol ablation (n=192, 16 ranks):");
+    let (t_base, m_base) = run_variant(&sys, ImepOptions::paper());
+    for (name, opts) in variants {
+        let (t, m) = run_variant(&sys, opts);
+        eprintln!(
+            "  {name:<16} {t:>10.6} s ({:+6.1} %)   {m:>7} msgs ({:+6.1} %)",
+            (t / t_base - 1.0) * 100.0,
+            (m as f64 / m_base as f64 - 1.0) * 100.0
+        );
+    }
+
+    let mut g = c.benchmark_group("ablation-ime-comm");
+    g.sample_size(10);
+    for (name, opts) in variants {
+        g.bench_with_input(BenchmarkId::new("variant", name), &opts, |b, &opts| {
+            b.iter(|| run_variant(&sys, opts))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! A-2: ablation of the ScaLAPACK block size `nb` — the classic
+//! latency-vs-locality trade-off of block-cyclic LU, measured in virtual
+//! time on the simulated cluster.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use greenla_bench::system;
+use greenla_cluster::placement::Placement;
+use greenla_cluster::spec::ClusterSpec;
+use greenla_cluster::PowerModel;
+use greenla_mpi::Machine;
+use greenla_scalapack::pdgesv::pdgesv;
+
+fn run_nb(sys: &greenla_linalg::LinearSystem, nb: usize) -> f64 {
+    let spec = ClusterSpec::test_cluster(4, 4);
+    let placement = Placement::packed(&spec.node, 16).unwrap();
+    let power = PowerModel::scaled_deterministic(&spec.node);
+    let machine = Machine::new(spec, placement, power, 88).unwrap();
+    let out = machine.run(|ctx| {
+        let world = ctx.world();
+        pdgesv(ctx, &world, sys, nb).unwrap()
+    });
+    out.makespan
+}
+
+fn bench_nb_sweep(c: &mut Criterion) {
+    let sys = system(256);
+    eprintln!("\nA-2 pdgesv block-size sweep (n=256, 16 ranks), virtual time:");
+    for nb in [2usize, 4, 8, 16, 32, 64] {
+        eprintln!("  nb={nb:<3} {:>10.6} s", run_nb(&sys, nb));
+    }
+
+    let mut g = c.benchmark_group("ablation-nb");
+    g.sample_size(10);
+    for nb in [4usize, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("pdgesv", nb), &nb, |b, &nb| {
+            b.iter(|| run_nb(&sys, nb))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_nb_sweep);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E-F3: Figure 3 — total energy under full-loaded vs half-loaded
+//! processors, both solvers. Prints the regenerated series and times one
+//! representative monitored run per (solver, layout).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use greenla_bench::{monitored, system, Solver};
+use greenla_cluster::placement::LoadLayout;
+
+fn bench_fig3(c: &mut Criterion) {
+    let ranks = 16;
+    // Regenerate the figure's series once.
+    eprintln!("\nFig.3 series (ranks={ranks}): total energy [J] per matrix dimension");
+    for solver in [Solver::ime(), Solver::scalapack()] {
+        for layout in LoadLayout::all() {
+            let mut line = format!("{:<10} {:<11}", solver.label(), layout.label());
+            for n in [96usize, 192] {
+                let s = monitored(solver, &system(n), ranks, layout);
+                line.push_str(&format!(" n={n}: {:>9.4} J", s.total_energy_j));
+            }
+            eprintln!("  {line}");
+        }
+    }
+
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    let sys = system(128);
+    for solver in [Solver::ime(), Solver::scalapack()] {
+        for layout in LoadLayout::all() {
+            let id = format!("{}-{}", solver.label(), layout.label());
+            g.bench_with_input(BenchmarkId::new("run", id), &layout, |b, &layout| {
+                b.iter(|| monitored(solver, &sys, ranks, layout))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E-F4: Figure 4 — energy and duration vs matrix dimension at a fixed
+//! rank count (full-load deployment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use greenla_bench::{monitored, system, Solver};
+use greenla_cluster::placement::LoadLayout;
+
+fn bench_fig4(c: &mut Criterion) {
+    let ranks = 16;
+    eprintln!("\nFig.4 series (ranks={ranks}, full load): energy & duration vs dimension");
+    for solver in [Solver::ime(), Solver::scalapack()] {
+        let mut line = format!("{:<10}", solver.label());
+        for n in [96usize, 160, 224, 288] {
+            let s = monitored(solver, &system(n), ranks, LoadLayout::FullLoad);
+            line.push_str(&format!(
+                " | n={n}: {:>8.4} J {:>9.6} s",
+                s.total_energy_j, s.duration_s
+            ));
+        }
+        eprintln!("  {line}");
+    }
+
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    for n in [96usize, 224] {
+        let sys = system(n);
+        for solver in [Solver::ime(), Solver::scalapack()] {
+            let id = format!("{}-n{}", solver.label(), n);
+            g.bench_with_input(BenchmarkId::new("run", id), &n, |b, _| {
+                b.iter(|| monitored(solver, &sys, ranks, LoadLayout::FullLoad))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

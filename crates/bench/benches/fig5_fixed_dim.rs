@@ -1,0 +1,38 @@
+//! E-F5: Figure 5 — energy and duration vs rank count at a fixed matrix
+//! dimension (the strong-scaling / crossover figure).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use greenla_bench::{monitored, system, Solver};
+use greenla_cluster::placement::LoadLayout;
+
+fn bench_fig5(c: &mut Criterion) {
+    let n = 192;
+    let sys = system(n);
+    eprintln!("\nFig.5 series (n={n}, full load): energy & duration vs ranks");
+    for solver in [Solver::ime(), Solver::scalapack()] {
+        let mut line = format!("{:<10}", solver.label());
+        for ranks in [8usize, 16, 32] {
+            let s = monitored(solver, &sys, ranks, LoadLayout::FullLoad);
+            line.push_str(&format!(
+                " | N={ranks}: {:>8.4} J {:>9.6} s",
+                s.total_energy_j, s.duration_s
+            ));
+        }
+        eprintln!("  {line}");
+    }
+
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    for ranks in [8usize, 32] {
+        for solver in [Solver::ime(), Solver::scalapack()] {
+            let id = format!("{}-N{}", solver.label(), ranks);
+            g.bench_with_input(BenchmarkId::new("run", id), &ranks, |b, &ranks| {
+                b.iter(|| monitored(solver, &sys, ranks, LoadLayout::FullLoad))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

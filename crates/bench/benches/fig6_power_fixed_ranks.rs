@@ -1,0 +1,35 @@
+//! E-F6: Figure 6 — energy and mean power vs matrix dimension at a fixed
+//! rank count. Power stays near-flat in dimension (the paper's
+//! "constant almost horizontal line"), which the printed series shows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use greenla_bench::{monitored, system, Solver};
+use greenla_cluster::placement::LoadLayout;
+
+fn bench_fig6(c: &mut Criterion) {
+    let ranks = 16;
+    eprintln!("\nFig.6 series (ranks={ranks}): power [W] vs dimension (near-flat expected)");
+    for solver in [Solver::ime(), Solver::scalapack()] {
+        let mut line = format!("{:<10}", solver.label());
+        for n in [128usize, 192, 256, 320] {
+            let s = monitored(solver, &system(n), ranks, LoadLayout::FullLoad);
+            line.push_str(&format!(" | n={n}: {:>7.2} W", s.mean_power_w));
+        }
+        eprintln!("  {line}");
+    }
+
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    let sys = system(192);
+    for solver in [Solver::ime(), Solver::scalapack()] {
+        g.bench_with_input(
+            BenchmarkId::new("run", solver.label()),
+            &solver,
+            |b, &solver| b.iter(|| monitored(solver, &sys, ranks, LoadLayout::FullLoad)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

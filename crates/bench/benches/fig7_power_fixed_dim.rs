@@ -1,0 +1,36 @@
+//! E-F7: Figure 7 — energy and mean power vs rank count at a fixed matrix
+//! dimension. Power grows with the deployed ranks ("directly proportional
+//! course", §5.2), which the printed series shows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use greenla_bench::{monitored, system, Solver};
+use greenla_cluster::placement::LoadLayout;
+
+fn bench_fig7(c: &mut Criterion) {
+    let n = 192;
+    let sys = system(n);
+    eprintln!("\nFig.7 series (n={n}): power [W] vs ranks (growing expected)");
+    for solver in [Solver::ime(), Solver::scalapack()] {
+        let mut line = format!("{:<10}", solver.label());
+        for ranks in [8usize, 16, 32, 64] {
+            let s = monitored(solver, &sys, ranks, LoadLayout::FullLoad);
+            line.push_str(&format!(" | N={ranks}: {:>7.2} W", s.mean_power_w));
+        }
+        eprintln!("  {line}");
+    }
+
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    for ranks in [8usize, 64] {
+        for solver in [Solver::ime(), Solver::scalapack()] {
+            let id = format!("{}-N{}", solver.label(), ranks);
+            g.bench_with_input(BenchmarkId::new("run", id), &ranks, |b, &ranks| {
+                b.iter(|| monitored(solver, &sys, ranks, LoadLayout::FullLoad))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

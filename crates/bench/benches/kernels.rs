@@ -1,0 +1,84 @@
+//! Microbenchmarks of the mini-BLAS kernels underlying both solvers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use greenla_linalg::{blas1, blas2, blas3, Matrix};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn rand_vec(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+fn bench_blas1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blas1");
+    for n in [256usize, 4096, 65536] {
+        let x = rand_vec(n, 1);
+        let y = rand_vec(n, 2);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("ddot", n), &n, |b, _| {
+            b.iter(|| blas1::ddot(&x, &y))
+        });
+        g.bench_with_input(BenchmarkId::new("idamax", n), &n, |b, _| {
+            b.iter(|| blas1::idamax(&x))
+        });
+        let mut z = y.clone();
+        g.bench_with_input(BenchmarkId::new("daxpy", n), &n, |b, _| {
+            b.iter(|| blas1::daxpy(1.0001, &x, &mut z))
+        });
+    }
+    g.finish();
+}
+
+fn bench_blas2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blas2");
+    for n in [64usize, 256] {
+        let a = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 13) as f64 - 6.0);
+        let x = rand_vec(n, 3);
+        let mut y = vec![0.0; n];
+        g.throughput(Throughput::Elements((n * n) as u64));
+        g.bench_with_input(BenchmarkId::new("dgemv", n), &n, |b, _| {
+            b.iter(|| blas2::dgemv(n, n, 1.0, a.as_slice(), n, &x, 0.0, &mut y))
+        });
+        let mut a2 = a.clone();
+        g.bench_with_input(BenchmarkId::new("dger", n), &n, |b, _| {
+            b.iter(|| {
+                let ld = a2.ld();
+                blas2::dger(n, n, 1e-9, &x, &x, a2.as_mut_slice(), ld)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_blas3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blas3");
+    g.sample_size(10);
+    for n in [64usize, 128, 256] {
+        let a = Matrix::from_fn(n, n, |i, j| ((i + j) % 7) as f64 - 3.0);
+        let b_m = Matrix::from_fn(n, n, |i, j| ((i * 2 + j) % 5) as f64 - 2.0);
+        let mut cm = Matrix::zeros(n, n);
+        g.throughput(Throughput::Elements(2 * (n * n * n) as u64));
+        g.bench_with_input(BenchmarkId::new("dgemm", n), &n, |bch, _| {
+            bch.iter(|| {
+                blas3::dgemm(
+                    n,
+                    n,
+                    n,
+                    1.0,
+                    a.as_slice(),
+                    n,
+                    b_m.as_slice(),
+                    n,
+                    0.0,
+                    cm.as_mut_slice(),
+                    n,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_blas1, bench_blas2, bench_blas3);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! E-O1: the monitoring framework's synchronisation overhead — the paper's
+//! acknowledged accuracy-for-overhead trade-off, quantified.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use greenla_bench::system;
+use greenla_cluster::placement::Placement;
+use greenla_cluster::spec::ClusterSpec;
+use greenla_cluster::PowerModel;
+use greenla_ime::{solve_imep, ImepOptions};
+use greenla_monitor::monitoring::MonitorConfig;
+use greenla_monitor::overhead::measure_overhead;
+use greenla_monitor::protocol::monitored_run;
+use greenla_mpi::Machine;
+use greenla_rapl::RaplSim;
+use std::sync::Arc;
+
+fn build() -> Machine {
+    let spec = ClusterSpec::test_cluster(4, 4);
+    let placement = Placement::packed(&spec.node, 16).unwrap();
+    let power = PowerModel::scaled_deterministic(&spec.node);
+    Machine::new(spec, placement, power, 55).unwrap()
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let sys = system(160);
+    // Report the virtual-time overhead once.
+    let rep = measure_overhead(build, |ctx| {
+        let world = ctx.world();
+        solve_imep(ctx, &world, &sys, ImepOptions::optimized()).unwrap();
+    });
+    eprintln!(
+        "\nE-O1 monitoring overhead (virtual time): monitored {:.6} s vs raw {:.6} s → {:.2} %",
+        rep.monitored_s,
+        rep.raw_s,
+        rep.overhead_fraction() * 100.0
+    );
+
+    let mut g = c.benchmark_group("monitor-overhead");
+    g.sample_size(10);
+    g.bench_with_input(BenchmarkId::new("solve", "raw"), &(), |b, _| {
+        b.iter(|| {
+            let m = build();
+            m.run(|ctx| {
+                let world = ctx.world();
+                solve_imep(ctx, &world, &sys, ImepOptions::optimized()).unwrap()
+            })
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("solve", "monitored"), &(), |b, _| {
+        b.iter(|| {
+            let m = build();
+            let rapl = Arc::new(RaplSim::new(m.ledger(), m.power().clone(), m.seed()));
+            m.run(|ctx| {
+                let world = ctx.world();
+                monitored_run(ctx, &rapl, &MonitorConfig::default(), |ctx, _| {
+                    solve_imep(ctx, &world, &sys, ImepOptions::optimized()).unwrap()
+                })
+                .unwrap()
+                .result
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Sequential solver benchmarks: the Inhibition Method against blocked LU
+//! on the same systems — the arithmetic-cost ratio (~3×) behind the
+//! paper's energy story, measured in wall time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use greenla_bench::system;
+use greenla_ime::solve_seq;
+use greenla_scalapack::getrs::gesv;
+
+fn bench_sequential_solvers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sequential-solvers");
+    g.sample_size(10);
+    for n in [64usize, 128, 256] {
+        let sys = system(n);
+        g.bench_with_input(BenchmarkId::new("IMe", n), &n, |b, _| {
+            b.iter(|| solve_seq(&sys).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("LU-nb32", n), &n, |b, _| {
+            b.iter(|| gesv(&sys.a, &sys.b, 32).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sequential_solvers);
+criterion_main!(benches);

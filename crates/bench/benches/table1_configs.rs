@@ -1,0 +1,48 @@
+//! E-T1: regenerate the paper's Table 1 (test configurations) and time the
+//! placement machinery it exercises.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use greenla_cluster::placement::{table1_rows, LoadLayout, Placement, PAPER_RANKS};
+use greenla_cluster::slurm::JobSpec;
+use greenla_cluster::spec::{ClusterSpec, NodeSpec};
+
+fn bench_table1(c: &mut Criterion) {
+    // Print the regenerated table once.
+    let rows = table1_rows(&NodeSpec::marconi_a3(), &PAPER_RANKS);
+    eprintln!("\nTable 1 — test configurations:");
+    eprintln!(
+        "{:>6} {:>6} {:>11} {:>8} {:>14}",
+        "ranks", "nodes", "ranks/node", "sockets", "ranks/socket"
+    );
+    for r in &rows {
+        eprintln!(
+            "{:>6} {:>6} {:>11} {:>8} {:>9},{}",
+            r.ranks,
+            r.nodes,
+            r.ranks_per_node,
+            r.sockets,
+            r.ranks_per_socket.0,
+            r.ranks_per_socket.1
+        );
+    }
+
+    c.bench_function("table1/rows", |b| {
+        b.iter(|| table1_rows(&NodeSpec::marconi_a3(), &PAPER_RANKS))
+    });
+    c.bench_function("table1/placement-1296-full", |b| {
+        let node = NodeSpec::marconi_a3();
+        b.iter(|| Placement::layout(&node, 1296, LoadLayout::FullLoad).unwrap())
+    });
+    c.bench_function("table1/slurm-submit", |b| {
+        let cluster = ClusterSpec::marconi_a3(60);
+        b.iter(|| {
+            JobSpec::parse("--ntasks=1296 --ntasks-per-node=48 --ntasks-per-socket=24")
+                .unwrap()
+                .place(&cluster)
+                .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Shared helpers for the Criterion benchmark suite.
+//!
+//! Each `benches/figN_*.rs` target regenerates one of the paper's figures:
+//! it runs the corresponding simulated measurement (printing the series it
+//! produces, i.e. the figure's data) and lets Criterion time the
+//! regeneration. `benches/kernels.rs` and `benches/solvers.rs` are ordinary
+//! microbenchmarks of the numeric substrate; the `ablation_*` targets
+//! quantify the design choices called out in DESIGN.md.
+
+use greenla_cluster::placement::{LoadLayout, Placement};
+use greenla_cluster::spec::{ClusterSpec, NodeSpec};
+use greenla_cluster::PowerModel;
+use greenla_ime::{solve_imep, ImepOptions};
+use greenla_linalg::generate::{self, LinearSystem};
+use greenla_monitor::monitoring::MonitorConfig;
+use greenla_monitor::protocol::monitored_run;
+use greenla_monitor::report::JobSummary;
+use greenla_mpi::Machine;
+use greenla_rapl::RaplSim;
+use greenla_scalapack::pdgesv::pdgesv;
+use std::sync::Arc;
+
+/// Which solver a benchmark run uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Solver {
+    Ime(ImepOptions),
+    ScaLapack { nb: usize },
+}
+
+impl Solver {
+    pub fn ime() -> Self {
+        Solver::Ime(ImepOptions::optimized())
+    }
+
+    pub fn scalapack() -> Self {
+        Solver::ScaLapack { nb: 16 }
+    }
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            Solver::Ime(_) => "IMe",
+            Solver::ScaLapack { .. } => "ScaLAPACK",
+        }
+    }
+}
+
+/// One monitored simulated run; returns the job summary.
+pub fn monitored(
+    solver: Solver,
+    sys: &LinearSystem,
+    ranks: usize,
+    layout: LoadLayout,
+) -> JobSummary {
+    let node = NodeSpec::test_node(4);
+    let placement = Placement::layout(&node, ranks, layout).expect("placement");
+    let spec = ClusterSpec {
+        node: node.clone(),
+        nodes: placement.nodes_used(),
+        net: greenla_cluster::Interconnect::omni_path(),
+    };
+    let power = PowerModel::scaled_for(&node);
+    let machine = Machine::new(spec, placement, power, 42).expect("machine");
+    let rapl = Arc::new(RaplSim::new(machine.ledger(), machine.power().clone(), 42));
+    let out = machine.run(|ctx| {
+        let world = ctx.world();
+        monitored_run(
+            ctx,
+            &rapl,
+            &MonitorConfig::default(),
+            |ctx, _| match solver {
+                Solver::Ime(opts) => solve_imep(ctx, &world, sys, opts).expect("IMe"),
+                Solver::ScaLapack { nb } => pdgesv(ctx, &world, sys, nb).expect("pdgesv"),
+            },
+        )
+        .expect("monitoring")
+        .report
+    });
+    let reports: Vec<_> = out.results.into_iter().flatten().collect();
+    JobSummary::aggregate(&reports)
+}
+
+/// Deterministic benchmark input.
+pub fn system(n: usize) -> LinearSystem {
+    generate::diag_dominant(n, 77)
+}

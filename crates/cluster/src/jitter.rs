@@ -1,0 +1,77 @@
+//! Deterministic node-to-node variability.
+//!
+//! The paper (§5.3) attributes part of its measurement scatter to "variations
+//! in the processors used for each execution". We model that explicitly: a
+//! per-(seed, node) multiplier drawn from a narrow bell-shaped distribution,
+//! applied to both core throughput and power draw. Using a hash-based
+//! generator keeps this crate dependency-free and every run reproducible.
+
+/// SplitMix64 — tiny, high-quality 64-bit mixer.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform f64 in [0, 1) from a hash state.
+fn unit(z: u64) -> f64 {
+    (splitmix64(z) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Approximately normal multiplier `N(1, sigma)` (Irwin–Hall with 4 draws,
+/// clamped to ±3σ). `sigma = 0` returns exactly 1.
+pub fn gaussian_multiplier(seed: u64, stream: u64, sigma: f64) -> f64 {
+    if sigma == 0.0 {
+        return 1.0;
+    }
+    let base = splitmix64(seed ^ stream.wrapping_mul(0x9e3779b97f4a7c15));
+    let sum: f64 = (0..4).map(|i| unit(base.wrapping_add(i))).sum();
+    // Irwin-Hall(4): mean 2, var 1/3  →  standardise.
+    let std_normal = (sum - 2.0) / (1.0f64 / 3.0).sqrt();
+    let clamped = std_normal.clamp(-3.0, 3.0);
+    1.0 + sigma * clamped
+}
+
+/// Per-node performance multiplier for a given run seed.
+pub fn node_perf(seed: u64, node: usize, sigma: f64) -> f64 {
+    gaussian_multiplier(seed, 0x5045_5246 ^ node as u64, sigma)
+}
+
+/// Per-node power multiplier for a given run seed.
+pub fn node_power(seed: u64, node: usize, sigma: f64) -> f64 {
+    gaussian_multiplier(seed, 0x504f_5752 ^ node as u64, sigma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(node_perf(7, 3, 0.05), node_perf(7, 3, 0.05));
+        assert_ne!(node_perf(7, 3, 0.05), node_perf(8, 3, 0.05));
+        assert_ne!(node_perf(7, 3, 0.05), node_perf(7, 4, 0.05));
+    }
+
+    #[test]
+    fn sigma_zero_is_identity() {
+        assert_eq!(node_perf(1, 1, 0.0), 1.0);
+    }
+
+    #[test]
+    fn bounded_and_centred() {
+        let sigma = 0.05;
+        let vals: Vec<f64> = (0..2000).map(|n| node_perf(42, n, sigma)).collect();
+        let mean: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+        for v in &vals {
+            assert!(*v > 1.0 - 3.5 * sigma && *v < 1.0 + 3.5 * sigma);
+        }
+    }
+
+    #[test]
+    fn perf_and_power_streams_differ() {
+        assert_ne!(node_perf(5, 0, 0.05), node_power(5, 0, 0.05));
+    }
+}

@@ -1,0 +1,265 @@
+//! Slurm-like batch job front end.
+//!
+//! The paper submits its runs through Slurm (`--ntasks`, `--ntasks-per-node`,
+//! `--ntasks-per-socket`). This module parses those directives, validates
+//! them against the cluster, and lowers them to a [`Placement`] — including
+//! reproducing the pinning surprise the paper notes in §5.3 (one-socket jobs
+//! rely on the directives actually constraining the sockets; here they do,
+//! deterministically).
+
+use crate::placement::{Placement, PlacementError};
+use crate::spec::ClusterSpec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A batch job resource request.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// `--ntasks`
+    pub ntasks: usize,
+    /// `--ntasks-per-node`
+    pub ntasks_per_node: usize,
+    /// `--ntasks-per-socket` (None lets ranks fill socket 0 first)
+    pub ntasks_per_socket: Option<usize>,
+}
+
+/// Submission failures.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SlurmError {
+    Placement(PlacementError),
+    /// The job needs more nodes than the cluster has.
+    TooFewNodes {
+        needed: usize,
+        available: usize,
+    },
+    /// `--ntasks-per-node` exceeds the node's core count.
+    NodeOversubscribed {
+        requested: usize,
+        cores: usize,
+    },
+    /// A malformed directive string.
+    BadDirective(String),
+}
+
+impl fmt::Display for SlurmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SlurmError::Placement(e) => write!(f, "placement: {e}"),
+            SlurmError::TooFewNodes { needed, available } => {
+                write!(f, "job needs {needed} nodes, cluster has {available}")
+            }
+            SlurmError::NodeOversubscribed { requested, cores } => {
+                write!(f, "--ntasks-per-node={requested} exceeds {cores} cores")
+            }
+            SlurmError::BadDirective(d) => write!(f, "bad directive: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for SlurmError {}
+
+impl From<PlacementError> for SlurmError {
+    fn from(e: PlacementError) -> Self {
+        SlurmError::Placement(e)
+    }
+}
+
+impl JobSpec {
+    /// Parse `#SBATCH`-style directives, e.g.
+    /// `"--ntasks=144 --ntasks-per-node=48 --ntasks-per-socket=24"`.
+    pub fn parse(directives: &str) -> Result<JobSpec, SlurmError> {
+        let mut ntasks = None;
+        let mut per_node = None;
+        let mut per_socket = None;
+        for tok in directives.split_whitespace() {
+            let (key, val) = tok
+                .split_once('=')
+                .ok_or_else(|| SlurmError::BadDirective(tok.to_string()))?;
+            let v: usize = val
+                .parse()
+                .map_err(|_| SlurmError::BadDirective(tok.to_string()))?;
+            match key {
+                "--ntasks" | "-n" => ntasks = Some(v),
+                "--ntasks-per-node" => per_node = Some(v),
+                "--ntasks-per-socket" => per_socket = Some(v),
+                _ => return Err(SlurmError::BadDirective(tok.to_string())),
+            }
+        }
+        let ntasks = ntasks.ok_or_else(|| SlurmError::BadDirective("--ntasks missing".into()))?;
+        let ntasks_per_node =
+            per_node.ok_or_else(|| SlurmError::BadDirective("--ntasks-per-node missing".into()))?;
+        Ok(JobSpec {
+            ntasks,
+            ntasks_per_node,
+            ntasks_per_socket: per_socket,
+        })
+    }
+
+    /// Validate against the cluster and produce a placement.
+    pub fn place(&self, cluster: &ClusterSpec) -> Result<Placement, SlurmError> {
+        let node = &cluster.node;
+        if self.ntasks_per_node > node.cores() {
+            return Err(SlurmError::NodeOversubscribed {
+                requested: self.ntasks_per_node,
+                cores: node.cores(),
+            });
+        }
+        let cps = node.cpu.cores_per_socket;
+        let per_socket: Vec<usize> = match self.ntasks_per_socket {
+            Some(s) => {
+                // Fill sockets round-down with at most `s` ranks each.
+                let mut remaining = self.ntasks_per_node;
+                (0..node.sockets)
+                    .map(|_| {
+                        let take = s.min(remaining);
+                        remaining -= take;
+                        take
+                    })
+                    .collect()
+            }
+            None => {
+                // Default bind: fill socket 0 first, overflow to socket 1.
+                let mut remaining = self.ntasks_per_node;
+                (0..node.sockets)
+                    .map(|_| {
+                        let take = cps.min(remaining);
+                        remaining -= take;
+                        take
+                    })
+                    .collect()
+            }
+        };
+        if per_socket.iter().sum::<usize>() != self.ntasks_per_node {
+            return Err(SlurmError::NodeOversubscribed {
+                requested: self.ntasks_per_node,
+                cores: node.cores(),
+            });
+        }
+        let placement = Placement::explicit(node, self.ntasks, &per_socket)?;
+        if placement.nodes_used() > cluster.nodes {
+            return Err(SlurmError::TooFewNodes {
+                needed: placement.nodes_used(),
+                available: cluster.nodes,
+            });
+        }
+        Ok(placement)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::LoadLayout;
+    use crate::spec::ClusterSpec;
+
+    #[test]
+    fn parse_full_directives() {
+        let j = JobSpec::parse("--ntasks=144 --ntasks-per-node=48 --ntasks-per-socket=24").unwrap();
+        assert_eq!(j.ntasks, 144);
+        assert_eq!(j.ntasks_per_node, 48);
+        assert_eq!(j.ntasks_per_socket, Some(24));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(matches!(
+            JobSpec::parse("--walltime=10"),
+            Err(SlurmError::BadDirective(_))
+        ));
+        assert!(matches!(
+            JobSpec::parse("--ntasks"),
+            Err(SlurmError::BadDirective(_))
+        ));
+        assert!(matches!(
+            JobSpec::parse("--ntasks=x"),
+            Err(SlurmError::BadDirective(_))
+        ));
+    }
+
+    #[test]
+    fn paper_full_load_job_places_like_layout() {
+        let cluster = ClusterSpec::marconi_a3(10);
+        let j = JobSpec {
+            ntasks: 144,
+            ntasks_per_node: 48,
+            ntasks_per_socket: Some(24),
+        };
+        let p = j.place(&cluster).unwrap();
+        let reference = Placement::layout(&cluster.node, 144, LoadLayout::FullLoad).unwrap();
+        assert_eq!(p, reference);
+    }
+
+    #[test]
+    fn one_socket_job_pins_to_socket0() {
+        let cluster = ClusterSpec::marconi_a3(10);
+        // 24 per node with no per-socket cap: default bind fills socket 0.
+        let j = JobSpec {
+            ntasks: 48,
+            ntasks_per_node: 24,
+            ntasks_per_socket: None,
+        };
+        let p = j.place(&cluster).unwrap();
+        for r in 0..48 {
+            assert_eq!(p.core_of(r).socket, 0, "rank {r} escaped socket 0");
+        }
+    }
+
+    #[test]
+    fn two_socket_half_job_splits() {
+        let cluster = ClusterSpec::marconi_a3(10);
+        let j = JobSpec {
+            ntasks: 24,
+            ntasks_per_node: 24,
+            ntasks_per_socket: Some(12),
+        };
+        let p = j.place(&cluster).unwrap();
+        let s0 = (0..24).filter(|&r| p.core_of(r).socket == 0).count();
+        assert_eq!(s0, 12);
+    }
+
+    #[test]
+    fn too_few_nodes_rejected() {
+        let cluster = ClusterSpec::marconi_a3(2);
+        let j = JobSpec {
+            ntasks: 144,
+            ntasks_per_node: 48,
+            ntasks_per_socket: Some(24),
+        };
+        assert_eq!(
+            j.place(&cluster),
+            Err(SlurmError::TooFewNodes {
+                needed: 3,
+                available: 2
+            })
+        );
+    }
+
+    #[test]
+    fn node_oversubscription_rejected() {
+        let cluster = ClusterSpec::marconi_a3(4);
+        let j = JobSpec {
+            ntasks: 100,
+            ntasks_per_node: 50,
+            ntasks_per_socket: None,
+        };
+        assert!(matches!(
+            j.place(&cluster),
+            Err(SlurmError::NodeOversubscribed { .. })
+        ));
+    }
+
+    #[test]
+    fn per_socket_cap_that_cannot_fit_rejected() {
+        let cluster = ClusterSpec::marconi_a3(4);
+        // 48 per node but only 20 allowed per socket: 40 < 48.
+        let j = JobSpec {
+            ntasks: 48,
+            ntasks_per_node: 48,
+            ntasks_per_socket: Some(20),
+        };
+        assert!(matches!(
+            j.place(&cluster),
+            Err(SlurmError::NodeOversubscribed { .. })
+        ));
+    }
+}

@@ -1,0 +1,56 @@
+//! Core addressing within the simulated cluster.
+
+use crate::spec::NodeSpec;
+use serde::{Deserialize, Serialize};
+
+/// Physical location of one hardware core: `(node, socket, core-in-socket)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CoreId {
+    pub node: usize,
+    pub socket: usize,
+    pub core: usize,
+}
+
+impl CoreId {
+    pub fn new(node: usize, socket: usize, core: usize) -> Self {
+        Self { node, socket, core }
+    }
+
+    /// Flat index of this core within its node (`socket * cps + core`).
+    pub fn flat_in_node(&self, node: &NodeSpec) -> usize {
+        self.socket * node.cpu.cores_per_socket + self.core
+    }
+
+    /// Inverse of [`CoreId::flat_in_node`].
+    pub fn from_flat(node_idx: usize, flat: usize, node: &NodeSpec) -> Self {
+        let cps = node.cpu.cores_per_socket;
+        Self {
+            node: node_idx,
+            socket: flat / cps,
+            core: flat % cps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::NodeSpec;
+
+    #[test]
+    fn flat_roundtrip() {
+        let node = NodeSpec::marconi_a3();
+        for flat in [0, 1, 23, 24, 47] {
+            let id = CoreId::from_flat(3, flat, &node);
+            assert_eq!(id.node, 3);
+            assert_eq!(id.flat_in_node(&node), flat);
+        }
+    }
+
+    #[test]
+    fn socket_boundary() {
+        let node = NodeSpec::marconi_a3();
+        assert_eq!(CoreId::from_flat(0, 23, &node).socket, 0);
+        assert_eq!(CoreId::from_flat(0, 24, &node).socket, 1);
+    }
+}

@@ -1,0 +1,249 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--exp all|table1|fig3|fig4|fig5|fig6|fig7|summary|overhead]
+//!       [--tier functional|model|both]   (default: both)
+//!       [--reps N]                       (default: 3)
+//!       [--smoke]                        (tiny grid for CI)
+//!       [--out DIR]                      (default: results)
+//! ```
+//!
+//! Functional-tier figures come from real monitored solves on the scaled
+//! simulated cluster; model-tier figures evaluate the calibrated analytic
+//! model at the paper's exact configurations (8640…34560 × 144/576/1296).
+
+use greenla_harness::charts;
+use greenla_harness::config::FunctionalGrid;
+use greenla_harness::experiments as exp;
+use greenla_harness::output::{write_artifact, write_json, Figure};
+use greenla_harness::run::Dataset;
+use greenla_harness::summary;
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Args {
+    exp: String,
+    tier: String,
+    reps: usize,
+    smoke: bool,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        exp: "all".into(),
+        tier: "both".into(),
+        reps: 3,
+        smoke: false,
+        out: PathBuf::from("results"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--exp" => args.exp = it.next().expect("--exp needs a value"),
+            "--tier" => args.tier = it.next().expect("--tier needs a value"),
+            "--reps" => {
+                args.reps = it
+                    .next()
+                    .expect("--reps needs a value")
+                    .parse()
+                    .expect("reps")
+            }
+            "--smoke" => args.smoke = true,
+            "--out" => args.out = PathBuf::from(it.next().expect("--out needs a value")),
+            "--help" | "-h" => {
+                println!("usage: repro [--exp all|table1|fig3..fig7|summary|overhead|powercap|trace] [--tier functional|model|both] [--reps N] [--smoke] [--out DIR]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn emit(out: &std::path::Path, fig: &Figure) {
+    let name = format!("{}.csv", fig.id);
+    write_artifact(out, &name, &fig.to_csv()).expect("write csv");
+    write_json(out, &format!("{}.json", fig.id), fig).expect("write json");
+    println!("{}", charts::ascii(fig));
+}
+
+fn main() {
+    let args = parse_args();
+    let functional = args.tier == "functional" || args.tier == "both";
+    let model = args.tier == "model" || args.tier == "both";
+    let wants = |e: &str| args.exp == "all" || args.exp == e;
+    let t0 = Instant::now();
+
+    // Experiments that need the measurement campaign.
+    let needs_data = functional
+        && ["fig3", "fig4", "fig5", "fig6", "fig7", "summary"]
+            .iter()
+            .any(|e| wants(e));
+    let dataset: Option<Dataset> = needs_data.then(|| {
+        let mut grid = if args.smoke {
+            FunctionalGrid::smoke()
+        } else {
+            FunctionalGrid::default()
+        };
+        grid.reps = args.reps;
+        eprintln!(
+            "running functional campaign: dims {:?} × ranks {:?} × 3 layouts × 2 solvers × {} reps",
+            grid.dims, grid.ranks, grid.reps
+        );
+        let ds = Dataset::campaign(&grid, |msg| {
+            eprintln!("  [{:6.1}s] {msg}", t0.elapsed().as_secs_f64())
+        });
+        write_json(&args.out, "dataset.json", &ds).expect("write dataset");
+        ds
+    });
+
+    if wants("table1") {
+        let t = exp::table1();
+        write_artifact(&args.out, "table1.csv", &t.to_csv()).expect("write");
+        println!("{}", t.to_text());
+    }
+
+    if wants("fig3") {
+        if let Some(ds) = &dataset {
+            let ranks = ds.points.iter().map(|p| p.ranks).min().unwrap_or(16);
+            emit(&args.out, &exp::fig3_functional(ds, ranks));
+        }
+        if model {
+            emit(&args.out, &exp::fig3_model(144));
+        }
+    }
+
+    if wants("fig4") {
+        if let Some(ds) = &dataset {
+            let (fe, ft) = exp::fig4_functional(ds);
+            emit(&args.out, &fe);
+            emit(&args.out, &ft);
+        }
+        if model {
+            let (fe, ft) = exp::fig4_model();
+            emit(&args.out, &fe);
+            emit(&args.out, &ft);
+        }
+    }
+
+    if wants("fig5") {
+        if let Some(ds) = &dataset {
+            let (fe, ft) = exp::fig5_functional(ds);
+            emit(&args.out, &fe);
+            emit(&args.out, &ft);
+        }
+        if model {
+            let (fe, ft) = exp::fig5_model();
+            emit(&args.out, &fe);
+            emit(&args.out, &ft);
+        }
+    }
+
+    if wants("fig6") {
+        if let Some(ds) = &dataset {
+            let ranks = ds.points.iter().map(|p| p.ranks).min().unwrap_or(16);
+            let (fe, fp) = exp::fig6_functional(ds, ranks);
+            emit(&args.out, &fe);
+            emit(&args.out, &fp);
+        }
+        if model {
+            let (fe, fp) = exp::fig6_model(144);
+            emit(&args.out, &fe);
+            emit(&args.out, &fp);
+        }
+    }
+
+    if wants("fig7") {
+        if let Some(ds) = &dataset {
+            let n = ds.points.iter().map(|p| p.n).max().unwrap_or(960);
+            let (fe, fp) = exp::fig7_functional(ds, n);
+            emit(&args.out, &fe);
+            emit(&args.out, &fp);
+        }
+        if model {
+            let (fe, fp) = exp::fig7_model(17280);
+            emit(&args.out, &fe);
+            emit(&args.out, &fp);
+        }
+    }
+
+    if wants("summary") {
+        if let Some(ds) = &dataset {
+            let checks = summary::check_dataset(ds);
+            let t = summary::claims_table(
+                "summary-functional",
+                "Paper claims vs functional tier",
+                &checks,
+            );
+            write_artifact(&args.out, "summary_functional.csv", &t.to_csv()).expect("write");
+            write_json(&args.out, "summary_functional.json", &checks).expect("write");
+            println!("{}", t.to_text());
+        }
+        if model {
+            let checks = summary::check_model();
+            let t = summary::claims_table(
+                "summary-model",
+                "Paper claims vs model tier (paper scale)",
+                &checks,
+            );
+            write_artifact(&args.out, "summary_model.csv", &t.to_csv()).expect("write");
+            write_json(&args.out, "summary_model.json", &checks).expect("write");
+            println!("{}", t.to_text());
+        }
+    }
+
+    if wants("powercap") && functional {
+        let (n, ranks) = if args.smoke { (96, 8) } else { (360, 16) };
+        let pts = greenla_harness::powercap::sweep(n, ranks, &[1.0, 0.85, 0.7, 0.55, 0.4], 7);
+        let t = greenla_harness::powercap::table(&pts);
+        write_artifact(&args.out, "powercap.csv", &t.to_csv()).expect("write");
+        write_json(&args.out, "powercap.json", &pts).expect("write");
+        println!("{}", t.to_text());
+    }
+
+    if wants("trace") && functional {
+        let (n, ranks) = if args.smoke { (128, 8) } else { (480, 16) };
+        let fig = greenla_harness::trace::figure(n, ranks, 1e-3, 7);
+        emit(&args.out, &fig);
+    }
+
+    if wants("overhead") && functional {
+        use greenla_cluster::placement::Placement;
+        use greenla_cluster::spec::ClusterSpec;
+        use greenla_cluster::PowerModel;
+        use greenla_ime::par::ImepOptions;
+        use greenla_linalg::generate;
+        use greenla_monitor::overhead::measure_overhead;
+        use greenla_mpi::Machine;
+
+        let sys = generate::diag_dominant(if args.smoke { 96 } else { 360 }, 1);
+        let build = || {
+            let spec = ClusterSpec::test_cluster(4, 4);
+            let placement = Placement::packed(&spec.node, 16).unwrap();
+            let power = PowerModel::scaled_deterministic(&spec.node);
+            Machine::new(spec, placement, power, 99).unwrap()
+        };
+        let report = measure_overhead(build, |ctx| {
+            let world = ctx.world();
+            greenla_ime::solve_imep(ctx, &world, &sys, ImepOptions::optimized()).unwrap();
+        });
+        let text = format!(
+            "monitored makespan: {:.6} s\nraw makespan:       {:.6} s\noverhead:           {:.2} %\n",
+            report.monitored_s,
+            report.raw_s,
+            report.overhead_fraction() * 100.0
+        );
+        write_artifact(&args.out, "overhead.txt", &text).expect("write");
+        println!("== E-O1 monitoring overhead ==\n{text}");
+    }
+
+    eprintln!(
+        "done in {:.1}s — artefacts in {}",
+        t0.elapsed().as_secs_f64(),
+        args.out.display()
+    );
+}

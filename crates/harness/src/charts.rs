@@ -1,0 +1,118 @@
+//! Terminal line charts for figure data — enough to eyeball the paper's
+//! shapes (who is above whom, where lines cross) without leaving the shell.
+
+use crate::output::Figure;
+use std::fmt::Write as _;
+
+const WIDTH: usize = 64;
+const HEIGHT: usize = 18;
+const GLYPHS: &[char] = &['o', 'x', '+', '*', '#', '@', '%', '&'];
+
+/// Render a figure as an ASCII chart with a legend.
+pub fn ascii(fig: &Figure) -> String {
+    let mut out = format!("── {} ({}) ──\n", fig.title, fig.id);
+    let pts: Vec<(f64, f64)> = fig
+        .series
+        .iter()
+        .flat_map(|s| s.x.iter().copied().zip(s.y.iter().copied()))
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .collect();
+    if pts.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &pts {
+        xmin = xmin.min(x);
+        xmax = xmax.max(x);
+        ymin = ymin.min(y);
+        ymax = ymax.max(y);
+    }
+    if (xmax - xmin).abs() < f64::EPSILON {
+        xmax = xmin + 1.0;
+    }
+    ymin = ymin.min(0.0);
+    if (ymax - ymin).abs() < f64::EPSILON {
+        ymax = ymin + 1.0;
+    }
+    let mut grid = vec![vec![' '; WIDTH]; HEIGHT];
+    for (si, s) in fig.series.iter().enumerate() {
+        let g = GLYPHS[si % GLYPHS.len()];
+        for (&x, &y) in s.x.iter().zip(&s.y) {
+            if !x.is_finite() || !y.is_finite() {
+                continue;
+            }
+            let cx = (((x - xmin) / (xmax - xmin)) * (WIDTH - 1) as f64).round() as usize;
+            let cy = (((y - ymin) / (ymax - ymin)) * (HEIGHT - 1) as f64).round() as usize;
+            let row = HEIGHT - 1 - cy.min(HEIGHT - 1);
+            grid[row][cx.min(WIDTH - 1)] = g;
+        }
+    }
+    let fmt = |v: f64| {
+        if v == 0.0 {
+            "0".to_string()
+        } else if v.abs() >= 1000.0 {
+            format!("{v:.0}")
+        } else if v.abs() >= 1.0 {
+            format!("{v:.2}")
+        } else {
+            format!("{v:.2e}")
+        }
+    };
+    let _ = writeln!(out, "{:>12} ┐", fmt(ymax));
+    for row in &grid {
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "{:>12} │{line}", "");
+    }
+    let _ = writeln!(out, "{:>12} └{}", fmt(ymin), "─".repeat(WIDTH));
+    let _ = writeln!(
+        out,
+        "{:>13}{:<12}{:>width$}{:>12}",
+        "",
+        fmt(xmin),
+        "",
+        fmt(xmax),
+        width = WIDTH.saturating_sub(24)
+    );
+    let _ = writeln!(out, "   x: {}   y: {}", fig.xlabel, fig.ylabel);
+    for (si, s) in fig.series.iter().enumerate() {
+        let _ = writeln!(out, "   {} {}", GLYPHS[si % GLYPHS.len()], s.label);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::output::Series;
+
+    #[test]
+    fn renders_without_panic_and_contains_legend() {
+        let mut fig = Figure::new("f", "demo", "n", "J");
+        let mut s = Series::new("IMe");
+        s.push(100.0, 5.0);
+        s.push(200.0, 20.0);
+        fig.series.push(s);
+        let text = ascii(&fig);
+        assert!(text.contains("demo"));
+        assert!(text.contains("o IMe"));
+        assert!(text.contains('o'));
+    }
+
+    #[test]
+    fn empty_figure_is_graceful() {
+        let fig = Figure::new("f", "empty", "x", "y");
+        assert!(ascii(&fig).contains("no data"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let mut fig = Figure::new("f", "const", "x", "y");
+        let mut s = Series::new("flat");
+        s.push(1.0, 3.0);
+        s.push(1.0, 3.0);
+        fig.series.push(s);
+        let _ = ascii(&fig);
+    }
+}

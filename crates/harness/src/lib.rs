@@ -1,0 +1,29 @@
+//! # greenla-harness
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! paper's evaluation (§5). Two tiers:
+//!
+//! * **functional tier** — real solves through the whole simulated stack
+//!   (rank threads, actual numerics, PAPI-read energies) on scaled-down
+//!   configurations that keep Table 1's geometry (three load layouts,
+//!   square rank counts, four matrix dimensions in fixed ratio);
+//! * **model tier** — the calibrated analytic model evaluated at the
+//!   paper's exact configurations (8640…34560 × 144/576/1296 ranks),
+//!   printing the same rows/series the paper reports.
+//!
+//! A single measurement [`campaign`](run::campaign) produces the dataset
+//! all figures slice, as in the paper; [`summary`] distils the headline
+//! claims (energy gap, power gap, load-level ordering, crossovers) and
+//! checks them against the paper's stated bands.
+
+pub mod charts;
+pub mod config;
+pub mod experiments;
+pub mod output;
+pub mod powercap;
+pub mod run;
+pub mod summary;
+pub mod trace;
+
+pub use config::{FunctionalGrid, SolverChoice};
+pub use run::{run_once, Aggregated, DataPoint, Dataset, Measurement, RunConfig};

@@ -1,0 +1,179 @@
+//! E-PC — the paper's stated future work, implemented: "the application of
+//! power caps to restrict power consumption during execution, aiming to
+//! achieve more efficient computations and investigate the behaviour of
+//! IMe and ScaLAPACK under different power configurations" (§6).
+//!
+//! Sweeps a RAPL package power cap from uncapped down to deep throttling,
+//! running both solvers under each cap on the simulated cluster: the cap
+//! programs `MSR_PKG_POWER_LIMIT` (via the simulated RAPL device) and the
+//! machine's DVFS model slows compute by `1/f` while dynamic power drops by
+//! `f³` — the classic energy/time trade-off surface.
+
+use crate::config::SolverChoice;
+use crate::output::Table;
+use greenla_cluster::placement::{LoadLayout, Placement};
+use greenla_cluster::spec::{ClusterSpec, NodeSpec};
+use greenla_cluster::PowerModel;
+use greenla_ime::solve_imep;
+use greenla_linalg::generate;
+use greenla_monitor::monitoring::MonitorConfig;
+use greenla_monitor::protocol::monitored_run;
+use greenla_monitor::report::JobSummary;
+use greenla_mpi::Machine;
+use greenla_rapl::units::encode_power_limit;
+use greenla_rapl::{RaplSim, MSR_PKG_POWER_LIMIT};
+use greenla_scalapack::pdgesv::pdgesv;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// One point of the power-cap sweep.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CapPoint {
+    pub solver: String,
+    /// Cap as a fraction of the uncapped fully-loaded socket power.
+    pub cap_fraction: f64,
+    /// Effective DVFS frequency scale the cap induces.
+    pub freq_scale: f64,
+    pub duration_s: f64,
+    pub total_energy_j: f64,
+    pub mean_power_w: f64,
+}
+
+/// Run the sweep: `fractions` of the uncapped loaded-socket power, both
+/// solvers, full-load layout.
+pub fn sweep(n: usize, ranks: usize, fractions: &[f64], seed: u64) -> Vec<CapPoint> {
+    let node = NodeSpec::test_node(4);
+    let base = PowerModel::scaled_deterministic(&node);
+    let uncapped_w = base.loaded_socket_power_w(&node);
+    let sys = generate::diag_dominant(n, 4242);
+    let mut out = Vec::new();
+    for solver in [SolverChoice::ime_optimized(), SolverChoice::scalapack()] {
+        for &frac in fractions {
+            let cap_w = uncapped_w * frac;
+            let power = base.with_power_cap(&node, node.cpu.cores_per_socket, cap_w);
+            let placement = Placement::layout(&node, ranks, LoadLayout::FullLoad).unwrap();
+            let spec = ClusterSpec {
+                node: node.clone(),
+                nodes: placement.nodes_used(),
+                net: greenla_cluster::Interconnect::omni_path(),
+            };
+            let machine = Machine::new(spec, placement, power.clone(), seed).unwrap();
+            let rapl = Arc::new(RaplSim::new(
+                machine.ledger(),
+                machine.power().clone(),
+                seed,
+            ));
+            let rapl2 = Arc::clone(&rapl);
+            let limit = encode_power_limit(cap_w, &rapl.units());
+            let run = machine.run(|ctx| {
+                let world = ctx.world();
+                monitored_run(ctx, &rapl2, &MonitorConfig::default(), |ctx, _| {
+                    // The monitoring rank programs the cap into the MSR,
+                    // as a power-capping agent would.
+                    if ctx.rank() == 0 {
+                        for node_i in 0..ctx.placement().nodes_used() {
+                            for s in 0..2 {
+                                rapl2
+                                    .write_msr(node_i, s, MSR_PKG_POWER_LIMIT, limit)
+                                    .expect("program power cap");
+                            }
+                        }
+                    }
+                    match solver {
+                        SolverChoice::Ime { .. } => {
+                            solve_imep(ctx, &world, &sys, solver.imep_options().unwrap()).unwrap()
+                        }
+                        SolverChoice::ScaLapack { nb } => pdgesv(ctx, &world, &sys, nb).unwrap(),
+                    }
+                })
+                .unwrap()
+                .report
+            });
+            let reports: Vec<_> = run.results.into_iter().flatten().collect();
+            let s = JobSummary::aggregate(&reports);
+            out.push(CapPoint {
+                solver: solver.label().to_string(),
+                cap_fraction: frac,
+                freq_scale: power.freq_scale,
+                duration_s: s.duration_s,
+                total_energy_j: s.total_energy_j,
+                mean_power_w: s.mean_power_w,
+            });
+        }
+    }
+    out
+}
+
+/// Render the sweep as a table.
+pub fn table(points: &[CapPoint]) -> Table {
+    Table {
+        id: "powercap".into(),
+        title: "E-PC — solvers under RAPL power caps (paper §6 future work)".into(),
+        headers: [
+            "solver",
+            "cap",
+            "freq",
+            "time [s]",
+            "energy [J]",
+            "power [W]",
+        ]
+        .map(String::from)
+        .to_vec(),
+        rows: points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.solver.clone(),
+                    format!("{:.0}%", p.cap_fraction * 100.0),
+                    format!("{:.2}", p.freq_scale),
+                    format!("{:.6}", p.duration_s),
+                    format!("{:.3}", p.total_energy_j),
+                    format!("{:.1}", p.mean_power_w),
+                ]
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caps_trade_time_for_power() {
+        // Compute-bound size: for latency-bound runs a cap barely moves the
+        // needle (and sub-ms runs drown in counter quantisation).
+        let pts = sweep(320, 8, &[1.0, 0.7], 1);
+        assert_eq!(pts.len(), 4);
+        for solver in ["IMe", "ScaLAPACK"] {
+            let full: Vec<&CapPoint> = pts.iter().filter(|p| p.solver == solver).collect();
+            let uncapped = full.iter().find(|p| p.cap_fraction == 1.0).unwrap();
+            let capped = full.iter().find(|p| p.cap_fraction == 0.7).unwrap();
+            assert!(capped.freq_scale < 1.0);
+            assert!(
+                capped.duration_s > uncapped.duration_s,
+                "{solver}: capped run must be slower"
+            );
+            assert!(
+                capped.mean_power_w < uncapped.mean_power_w,
+                "{solver}: capped run must draw less power"
+            );
+        }
+    }
+
+    #[test]
+    fn uncapped_fraction_keeps_full_frequency() {
+        let pts = sweep(96, 8, &[1.0], 2);
+        for p in pts {
+            assert_eq!(p.freq_scale, 1.0);
+        }
+    }
+
+    #[test]
+    fn table_renders() {
+        let pts = sweep(96, 8, &[1.0], 3);
+        let t = table(&pts);
+        assert_eq!(t.rows.len(), 2);
+        assert!(t.to_text().contains("power caps"));
+    }
+}

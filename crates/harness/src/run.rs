@@ -1,0 +1,257 @@
+//! The measurement runner: one fully monitored solver execution per call,
+//! repeated and aggregated the way the paper runs its jobs (ten
+//! repetitions per configuration; we default to fewer but keep the knob).
+
+use crate::config::{FunctionalGrid, SolverChoice};
+use greenla_cluster::placement::{LoadLayout, Placement};
+use greenla_cluster::spec::ClusterSpec;
+use greenla_cluster::PowerModel;
+use greenla_ime::solve_imep;
+use greenla_linalg::generate::{LinearSystem, SystemKind};
+use greenla_monitor::monitoring::MonitorConfig;
+use greenla_monitor::protocol::monitored_run;
+use greenla_monitor::report::{JobSummary, NodeReport};
+use greenla_mpi::Machine;
+use greenla_rapl::RaplSim;
+use greenla_scalapack::pdgesv::pdgesv;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// One run's configuration.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunConfig {
+    pub n: usize,
+    pub ranks: usize,
+    pub layout: LoadLayout,
+    pub solver: SolverChoice,
+    pub system: SystemKind,
+    pub cores_per_socket: usize,
+    pub seed: u64,
+}
+
+/// What one monitored run measured (the union of the figures' axes).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Measurement {
+    pub duration_s: f64,
+    pub total_energy_j: f64,
+    pub pkg_energy_j: f64,
+    pub dram_energy_j: f64,
+    pub pkg_by_socket_j: [f64; 2],
+    pub dram_by_socket_j: [f64; 2],
+    pub mean_power_w: f64,
+    pub residual: f64,
+    pub msgs: u64,
+    pub volume_elems: u64,
+    pub nodes: usize,
+}
+
+/// Execute one configuration end to end: build the scaled cluster, run the
+/// solver under the white-box monitoring framework, aggregate the per-node
+/// reports.
+pub fn run_once(cfg: &RunConfig) -> Measurement {
+    let node = greenla_cluster::spec::NodeSpec::test_node(cfg.cores_per_socket);
+    let placement =
+        Placement::layout(&node, cfg.ranks, cfg.layout).expect("grid guarantees divisibility");
+    let nodes = placement.nodes_used();
+    let spec = ClusterSpec {
+        node: node.clone(),
+        nodes,
+        net: greenla_cluster::Interconnect::omni_path(),
+    };
+    let power = PowerModel::scaled_for(&node);
+    let machine = Machine::new(spec, placement, power, cfg.seed).expect("valid machine");
+    let rapl = Arc::new(RaplSim::new(
+        machine.ledger(),
+        machine.power().clone(),
+        cfg.seed,
+    ));
+    let sys: LinearSystem = cfg.system.generate(cfg.n, system_seed(cfg));
+    let mon_cfg = MonitorConfig::default();
+    let solver = cfg.solver;
+    let out = machine.run(|ctx| {
+        let world = ctx.world();
+        let monitored = monitored_run(ctx, &rapl, &mon_cfg, |ctx, handle| {
+            // Allocation phase: the input system is materialised in each
+            // rank's memory (the paper loads it from a file).
+            let local_share = 8 * (cfg.n * cfg.n) as u64 / ctx.size() as u64;
+            ctx.touch_memory(local_share);
+            handle.phase(ctx, "allocation").expect("phase mark");
+            let x = match solver {
+                SolverChoice::Ime { .. } => {
+                    solve_imep(ctx, &world, &sys, solver.imep_options().unwrap())
+                        .expect("IMe solve")
+                }
+                SolverChoice::ScaLapack { nb } => {
+                    pdgesv(ctx, &world, &sys, nb).expect("pdgesv solve")
+                }
+            };
+            handle.phase(ctx, "execution").expect("phase mark");
+            x
+        })
+        .expect("monitoring protocol");
+        (monitored.result, monitored.report)
+    });
+    let reports: Vec<NodeReport> = out.results.iter().filter_map(|(_, r)| r.clone()).collect();
+    assert_eq!(reports.len(), nodes, "one report per node");
+    let summary = JobSummary::aggregate(&reports);
+    let x = &out.results[0].0;
+    Measurement {
+        duration_s: summary.duration_s,
+        total_energy_j: summary.total_energy_j,
+        pkg_energy_j: summary.pkg_energy_j,
+        dram_energy_j: summary.dram_energy_j,
+        pkg_by_socket_j: summary.pkg_by_socket_j,
+        dram_by_socket_j: summary.dram_by_socket_j,
+        mean_power_w: summary.mean_power_w,
+        residual: sys.residual(x),
+        msgs: out.traffic.msgs,
+        volume_elems: out.traffic.volume_elems(),
+        nodes,
+    }
+}
+
+/// Input-system seed derived from the configuration (the same system for
+/// every repetition, as the paper's file-based inputs guarantee).
+fn system_seed(cfg: &RunConfig) -> u64 {
+    (cfg.n as u64) << 32 | cfg.ranks as u64
+}
+
+/// Simple per-metric statistics over repetitions.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct Stats {
+    pub mean: f64,
+    pub std: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl Stats {
+    pub fn from(values: &[f64]) -> Stats {
+        assert!(!values.is_empty());
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        Stats {
+            mean,
+            std: var.sqrt(),
+            min: values.iter().cloned().fold(f64::INFINITY, f64::min),
+            max: values.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+/// Repetition-aggregated measurement.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Aggregated {
+    pub duration_s: Stats,
+    pub total_energy_j: Stats,
+    pub pkg_energy_j: Stats,
+    pub dram_energy_j: Stats,
+    pub mean_power_w: Stats,
+    pub pkg0_j: Stats,
+    pub pkg1_j: Stats,
+    pub dram0_j: Stats,
+    pub dram1_j: Stats,
+    pub worst_residual: f64,
+    pub reps: usize,
+}
+
+impl Aggregated {
+    pub fn from_runs(runs: &[Measurement]) -> Aggregated {
+        let pick =
+            |f: &dyn Fn(&Measurement) -> f64| Stats::from(&runs.iter().map(f).collect::<Vec<_>>());
+        Aggregated {
+            duration_s: pick(&|m| m.duration_s),
+            total_energy_j: pick(&|m| m.total_energy_j),
+            pkg_energy_j: pick(&|m| m.pkg_energy_j),
+            dram_energy_j: pick(&|m| m.dram_energy_j),
+            mean_power_w: pick(&|m| m.mean_power_w),
+            pkg0_j: pick(&|m| m.pkg_by_socket_j[0]),
+            pkg1_j: pick(&|m| m.pkg_by_socket_j[1]),
+            dram0_j: pick(&|m| m.dram_by_socket_j[0]),
+            dram1_j: pick(&|m| m.dram_by_socket_j[1]),
+            worst_residual: runs.iter().map(|m| m.residual).fold(0.0, f64::max),
+            reps: runs.len(),
+        }
+    }
+}
+
+/// One aggregated grid point.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DataPoint {
+    pub solver: String,
+    pub n: usize,
+    pub ranks: usize,
+    pub layout: LoadLayout,
+    pub agg: Aggregated,
+}
+
+/// The full functional-tier dataset all figures slice.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    pub points: Vec<DataPoint>,
+}
+
+impl Dataset {
+    /// Run the whole measurement campaign for a grid (both solvers, every
+    /// dim × ranks × layout, `reps` repetitions each). Independent
+    /// configurations run in parallel via rayon; each simulation is
+    /// deterministic, so the dataset is identical regardless of scheduling.
+    pub fn campaign(grid: &FunctionalGrid, progress: impl Fn(&str) + Sync) -> Dataset {
+        use rayon::prelude::*;
+        let solvers = [SolverChoice::ime_optimized(), SolverChoice::scalapack()];
+        let mut configs = Vec::new();
+        for &n in &grid.dims {
+            for &ranks in &grid.ranks {
+                for &layout in &grid.layouts {
+                    for solver in solvers {
+                        configs.push((n, ranks, layout, solver));
+                    }
+                }
+            }
+        }
+        let points: Vec<DataPoint> = configs
+            .par_iter()
+            .map(|&(n, ranks, layout, solver)| {
+                progress(&format!(
+                    "n={n} ranks={ranks} layout={layout} solver={}",
+                    solver.label()
+                ));
+                let runs: Vec<Measurement> = (0..grid.reps)
+                    .map(|rep| {
+                        run_once(&RunConfig {
+                            n,
+                            ranks,
+                            layout,
+                            solver,
+                            system: SystemKind::DiagDominant,
+                            cores_per_socket: grid.cores_per_socket,
+                            seed: grid.base_seed + rep as u64,
+                        })
+                    })
+                    .collect();
+                DataPoint {
+                    solver: solver.label().to_string(),
+                    n,
+                    ranks,
+                    layout,
+                    agg: Aggregated::from_runs(&runs),
+                }
+            })
+            .collect();
+        Dataset { points }
+    }
+
+    /// Look up one point.
+    pub fn get(
+        &self,
+        solver: &str,
+        n: usize,
+        ranks: usize,
+        layout: LoadLayout,
+    ) -> Option<&DataPoint> {
+        self.points
+            .iter()
+            .find(|p| p.solver == solver && p.n == n && p.ranks == ranks && p.layout == layout)
+    }
+}

@@ -1,0 +1,36 @@
+//! IMe failure modes.
+
+use std::fmt;
+
+/// Why the Inhibition Method could not solve a system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImeError {
+    /// A diagonal coefficient is exactly zero, so the inhibition table
+    /// `T(n)` cannot be built (`1/aᵢᵢ` undefined).
+    ZeroDiagonal { row: usize },
+    /// The inhibitor (pivot) `t_{l,n+l}` vanished at level `l`; IMe has no
+    /// pivoting, so the method fails where Gaussian elimination with
+    /// partial pivoting may still succeed.
+    ZeroInhibitor { level: usize },
+}
+
+impl fmt::Display for ImeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImeError::ZeroDiagonal { row } => {
+                write!(
+                    f,
+                    "zero diagonal coefficient a[{row},{row}]: inhibition table undefined"
+                )
+            }
+            ImeError::ZeroInhibitor { level } => {
+                write!(
+                    f,
+                    "zero inhibitor at level {level}: IMe cannot proceed without pivoting"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ImeError {}

@@ -1,0 +1,374 @@
+//! IMeP — the column-wise parallel Inhibition Method.
+//!
+//! Columns of the `n × 2n` inhibition table are dealt cyclically to the `N`
+//! ranks of the communicator (rank 0 is the master). Every level `l`
+//! follows the paper's §2.1 protocol:
+//!
+//! 1. the node computing the level's last column `t_{·,n+l}` **broadcasts
+//!    it to all the other nodes**;
+//! 2. the **master computes the auxiliary quantities `h^(l)`** from it and
+//!    broadcasts them to all slaves;
+//! 3. every node applies the fundamental update to the columns it owns;
+//! 4. the slaves **send the modified last-row (row `l`) entries of their
+//!    columns to the master**, which archives the reduced rows (they feed
+//!    the fault-tolerance extension and post-hoc verification).
+//!
+//! Initialisation adds a master→slaves broadcast of `b`; termination adds a
+//! gather of the per-column solution components and a broadcast of the
+//! assembled `x`, so every rank returns the replicated solution (same
+//! convention as `pdgesv`).
+
+use crate::error::ImeError;
+use crate::table::init_column;
+use greenla_linalg::blas1::ddot;
+use greenla_linalg::flops;
+use greenla_linalg::generate::LinearSystem;
+use greenla_mpi::{Comm, RankCtx};
+
+/// Chunk size (f64 elements) of the pipelined column broadcast: 8 KiB —
+/// small enough that the per-hop depth penalty stays near the latency
+/// floor while the stream amortises the volume.
+pub const BCAST_CHUNK: usize = 1024;
+
+/// DRAM-traffic model: the per-level table update is a rank-1-style sweep
+/// (arithmetic intensity ~1/8 flop/byte), which a naive implementation
+/// would re-stream from DRAM every level. Production IMe kernels fuse a
+/// block of consecutive levels per sweep (the level column and `h` are
+/// small and cache-resident), so each table element travels to DRAM once
+/// per `LEVEL_FUSE` levels. 64 keeps the kernel just at the machine's
+/// flops/byte balance point — the paper's observed IMe durations are
+/// compute-bound, not 50× memory-bound.
+pub const LEVEL_FUSE: u64 = 64;
+
+/// Tuning knobs for IMeP (exposed for the ablation benchmarks).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ImepOptions {
+    /// Send the last-row entries to the master every level (the paper's
+    /// protocol). Switching this off is part of the `A-1` ablation: the
+    /// update maths does not need the master copy, so this isolates the
+    /// cost of the bookkeeping traffic.
+    pub collect_last_rows: bool,
+    /// Compute the auxiliary quantities `h` at the master and broadcast
+    /// them (the paper's protocol). When off, every rank derives `h` from
+    /// the already-broadcast level column locally — same arithmetic, no
+    /// extra communication round.
+    pub centralized_h: bool,
+    /// Stream the per-level column broadcast through the pipelined binary
+    /// tree (`O(α·log N + β·n)`) instead of the binomial tree
+    /// (`O((α + β·n)·log N)`).
+    pub pipelined_bcast: bool,
+}
+
+impl ImepOptions {
+    /// The paper's protocol, verbatim.
+    pub fn paper() -> Self {
+        Self {
+            collect_last_rows: true,
+            centralized_h: true,
+            pipelined_bcast: false,
+        }
+    }
+
+    /// The tuned variant a production IMeP would run (and the one the
+    /// harness uses for figure generation): no bookkeeping returns,
+    /// locally derived `h`, pipelined broadcasts.
+    pub fn optimized() -> Self {
+        Self {
+            collect_last_rows: false,
+            centralized_h: false,
+            pipelined_bcast: true,
+        }
+    }
+}
+
+impl Default for ImepOptions {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Cyclic column distribution: owner of global table column `c`.
+pub(crate) fn owner(c: usize, nranks: usize) -> usize {
+    c % nranks
+}
+
+const MASTER: usize = 0;
+
+/// The fully reduced inhibition table held by one rank: its share of the
+/// left block, which after the reduction equals the corresponding columns
+/// of `A⁻ᵀ`. Because the reduction is independent of the right-hand side,
+/// one [`reduce_table`] pays for any number of [`ReducedTable::solve`]
+/// calls — each solve is one broadcast of `b`, local dot products, a gather
+/// and a broadcast of `x` (`O(n²/N)` work, `O(n)` traffic).
+pub struct ReducedTable {
+    n: usize,
+    nranks: usize,
+    /// `(global left-column index, column data)` for my columns.
+    my_left: Vec<(usize, Vec<f64>)>,
+    /// Master-side archive of the per-level reduced rows (the paper's
+    /// last-row returns); empty unless `collect_last_rows` was on.
+    pub archived_rows: Vec<Vec<f64>>,
+}
+
+impl ReducedTable {
+    /// Solve for one right-hand side (held by the master; other ranks may
+    /// pass anything). Returns the replicated solution. Collective.
+    pub fn solve(&self, ctx: &mut RankCtx, comm: &Comm, b: &[f64]) -> Vec<f64> {
+        let n = self.n;
+        let me = comm.rank();
+        let mut b_rep = if me == MASTER {
+            assert_eq!(b.len(), n, "rhs length mismatch");
+            b.to_vec()
+        } else {
+            Vec::new()
+        };
+        ctx.bcast_f64(comm, MASTER, &mut b_rep);
+        let my_x: Vec<f64> = self
+            .my_left
+            .iter()
+            .map(|(_, col)| ddot(col, &b_rep))
+            .collect();
+        ctx.compute(
+            flops::dgemv(my_x.len(), n),
+            flops::bytes_f64(n * my_x.len()),
+        );
+        let gathered = ctx.gather_f64(comm, MASTER, &my_x);
+        let mut x = vec![0.0; n];
+        if let Some(chunks) = gathered {
+            for (r, chunk) in chunks.into_iter().enumerate() {
+                // Rank r owns left columns r, r+N, r+2N, … in that order.
+                for (t, v) in chunk.into_iter().enumerate() {
+                    let j = r + t * self.nranks;
+                    debug_assert!(j < n);
+                    x[j] = v;
+                }
+            }
+        }
+        ctx.bcast_f64(comm, MASTER, &mut x);
+        x
+    }
+}
+
+/// Run the IMeP reduction (INITIME + all levels) without consuming a
+/// right-hand side. Collective over `comm`.
+pub fn reduce_table(
+    ctx: &mut RankCtx,
+    comm: &Comm,
+    sys: &LinearSystem,
+    opts: ImepOptions,
+) -> Result<ReducedTable, ImeError> {
+    let n = sys.n();
+    let nranks = comm.size();
+    let me = comm.rank();
+
+    // Diagonal check is local and identical on every rank (replicated
+    // input), so all ranks agree before any communication.
+    for i in 0..n {
+        if sys.a[(i, i)] == 0.0 {
+            return Err(ImeError::ZeroDiagonal { row: i });
+        }
+    }
+
+    // ----- INITIME: build my columns of T(n) -----
+    // Left column j is e_j/a_jj (kept dense for uniform updates); right
+    // column n+j holds a_{j,i}/a_{i,i}.
+    let mut my_cols: Vec<(usize, Vec<f64>)> = (0..2 * n)
+        .filter(|&c| owner(c, nranks) == me)
+        .map(|c| (c, init_column(&sys.a, c).expect("diagonal checked above")))
+        .collect();
+    ctx.compute(
+        (n * my_cols.len()) as u64 / 2,
+        flops::bytes_f64(n * my_cols.len()),
+    );
+
+    // Master's archive of reduced rows (row l at each level).
+    let mut archived_rows: Vec<Vec<f64>> = Vec::new();
+
+    // ----- levels -----
+    for l in (0..n).rev() {
+        // 1. Owner of column n+l broadcasts it.
+        let last_col_owner = owner(n + l, nranks);
+        let mut c_lvl: Vec<f64> = if me == last_col_owner {
+            let (_, col) = my_cols
+                .iter()
+                .find(|(c, _)| *c == n + l)
+                .expect("owner must hold the level column");
+            col.clone()
+        } else {
+            Vec::new()
+        };
+        if opts.pipelined_bcast {
+            ctx.bcast_pipelined_f64(comm, last_col_owner, &mut c_lvl, BCAST_CHUNK);
+        } else {
+            ctx.bcast_f64(comm, last_col_owner, &mut c_lvl);
+        }
+
+        // 2. Auxiliary quantities h^(l): computed at the master and
+        //    broadcast (paper protocol), or derived locally by every rank
+        //    from the column it just received (optimised variant). A failed
+        //    level is signalled in-band / detected identically everywhere.
+        let (hl, h_owned): (f64, Vec<f64>) = if opts.centralized_h {
+            let mut h = if me == MASTER {
+                let piv = c_lvl[l];
+                if piv == 0.0 {
+                    vec![f64::NAN] // failure sentinel
+                } else {
+                    let mut h = Vec::with_capacity(n + 1);
+                    h.push(1.0 / piv); // h_l as first element
+                    h.extend(c_lvl.iter().map(|&v| v / piv));
+                    h
+                }
+            } else {
+                Vec::new()
+            };
+            if me == MASTER {
+                ctx.compute((n + 1) as u64, flops::bytes_f64(n));
+            }
+            ctx.bcast_f64(comm, MASTER, &mut h);
+            if h.len() == 1 {
+                return Err(ImeError::ZeroInhibitor { level: l });
+            }
+            let hl = h[0];
+            h.remove(0);
+            (hl, h)
+        } else {
+            let piv = c_lvl[l];
+            if piv == 0.0 {
+                return Err(ImeError::ZeroInhibitor { level: l });
+            }
+            let h: Vec<f64> = c_lvl.iter().map(|&v| v / piv).collect();
+            ctx.compute((n + 1) as u64, flops::bytes_f64(n));
+            (1.0 / piv, h)
+        };
+        let h = &h_owned[..];
+
+        // 3. Fundamental update on my active columns (left `l..n`, right
+        //    `< l`); column n+l itself is eliminated to a basis vector.
+        let mut touched = 0usize;
+        for (c, col) in my_cols.iter_mut() {
+            let active = if *c < n { *c >= l } else { *c - n <= l };
+            if !active {
+                continue;
+            }
+            if *c == n + l {
+                for (i, v) in col.iter_mut().enumerate() {
+                    *v = if i == l { 1.0 } else { 0.0 };
+                }
+                continue;
+            }
+            let tl = col[l];
+            if tl != 0.0 {
+                for i in 0..n {
+                    if i != l {
+                        col[i] -= h[i] * tl;
+                    }
+                }
+                col[l] = hl * tl;
+            }
+            touched += 1;
+        }
+        ctx.compute(
+            2 * (n * touched) as u64,
+            flops::bytes_f64(2 * n * touched) / LEVEL_FUSE,
+        );
+
+        // 4. Slaves send their modified row-l entries to the master.
+        if opts.collect_last_rows {
+            let row_l: Vec<f64> = my_cols
+                .iter()
+                .filter(|(c, _)| if *c < n { *c >= l } else { *c - n <= l })
+                .map(|(_, col)| col[l])
+                .collect();
+            if let Some(chunks) = ctx.gather_f64(comm, MASTER, &row_l) {
+                archived_rows.push(chunks.into_iter().flatten().collect());
+            }
+        }
+    }
+
+    let my_left: Vec<(usize, Vec<f64>)> = my_cols.into_iter().filter(|(c, _)| *c < n).collect();
+    Ok(ReducedTable {
+        n,
+        nranks,
+        my_left,
+        archived_rows,
+    })
+}
+
+/// Solve a replicated system with IMeP over all ranks of `comm`. Returns
+/// the solution, replicated on every rank.
+pub fn solve_imep(
+    ctx: &mut RankCtx,
+    comm: &Comm,
+    sys: &LinearSystem,
+    opts: ImepOptions,
+) -> Result<Vec<f64>, ImeError> {
+    let table = reduce_table(ctx, comm, sys, opts)?;
+    Ok(table.solve(ctx, comm, &sys.b))
+}
+
+/// Solve the same system for several right-hand sides with a single
+/// reduction (the decomposition is RHS-independent — one of IMe's selling
+/// points for repeated solves such as transient circuit analysis).
+pub fn solve_imep_multi(
+    ctx: &mut RankCtx,
+    comm: &Comm,
+    sys: &LinearSystem,
+    bs: &[Vec<f64>],
+    opts: ImepOptions,
+) -> Result<Vec<Vec<f64>>, ImeError> {
+    let table = reduce_table(ctx, comm, sys, opts)?;
+    Ok(bs.iter().map(|b| table.solve(ctx, comm, b)).collect())
+}
+
+/// Per-level traffic of this implementation, counted the same way the
+/// simulator counts (tree broadcast/gather = `N−1` point-to-point
+/// messages). Used by tests to pin the simulated counters exactly, and by
+/// the analytic model.
+pub fn predict_traffic(n: usize, nranks: usize, opts: ImepOptions) -> (u64, u64) {
+    let nn = n as u64;
+    let edges = (nranks as u64).saturating_sub(1);
+    if edges == 0 {
+        return (0, 0);
+    }
+    let mut msgs = 0u64;
+    let mut elems = 0u64;
+    // init: b broadcast.
+    msgs += edges;
+    elems += edges * nn;
+    for l in 0..n {
+        // Column broadcast (size n).
+        if opts.pipelined_bcast {
+            // Binary-tree pipeline: header + chunks per edge.
+            let nchunks = n.div_ceil(BCAST_CHUNK).max(1) as u64;
+            msgs += edges * (nchunks + 1);
+            elems += edges * (nn + 1); // chunks total n elems + 1-word header
+        } else {
+            msgs += edges;
+            elems += edges * nn;
+        }
+        // h broadcast (size n+1) under the paper protocol.
+        if opts.centralized_h {
+            msgs += edges;
+            elems += edges * (nn + 1);
+        }
+        if opts.collect_last_rows {
+            // linear gather: each slave sends its active-column row entries.
+            msgs += edges;
+            let active = (n - l) + (l + 1); // left l..n plus right 0..=l
+                                            // Split of active columns across ranks: master's share excluded.
+            let mut master_share = 0u64;
+            for c in 0..2 * n {
+                let a = if c < n { c >= l } else { c - n <= l };
+                if a && owner(c, nranks) == 0 {
+                    master_share += 1;
+                }
+            }
+            elems += active as u64 - master_share;
+        }
+    }
+    // termination: gather x components + broadcast x.
+    msgs += 2 * edges;
+    let master_left = (0..n).filter(|&c| owner(c, nranks) == 0).count() as u64;
+    elems += (nn - master_left) + edges * nn;
+    (msgs, elems)
+}

@@ -1,0 +1,98 @@
+//! Construction of the inhibition table `T(n)` (the paper's INITIME
+//! procedure).
+
+use crate::error::ImeError;
+use greenla_linalg::Matrix;
+
+/// Build the full `n × 2n` inhibition table
+/// `T(n) = [diag(1/aᵢᵢ) | diag(1/aᵢᵢ)·Aᵀ]`:
+/// left block `t_{i,i} = 1/aᵢᵢ` (zero elsewhere), right block
+/// `t_{i,n+j} = a_{j,i}/a_{i,i}` (so `t_{i,n+i} = 1`).
+pub fn init_table(a: &Matrix) -> Result<Matrix, ImeError> {
+    assert!(a.is_square(), "IMe needs a square system");
+    let n = a.rows();
+    for i in 0..n {
+        if a[(i, i)] == 0.0 {
+            return Err(ImeError::ZeroDiagonal { row: i });
+        }
+    }
+    let mut t = Matrix::zeros(n, 2 * n);
+    for i in 0..n {
+        t[(i, i)] = 1.0 / a[(i, i)];
+        for j in 0..n {
+            t[(i, n + j)] = a[(j, i)] / a[(i, i)];
+        }
+    }
+    Ok(t)
+}
+
+/// One column of the table, built standalone (what each IMeP rank computes
+/// for the columns it owns, without materialising the full table).
+///
+/// `col < n` selects a left-block column, `col ≥ n` a right-block column.
+pub fn init_column(a: &Matrix, col: usize) -> Result<Vec<f64>, ImeError> {
+    let n = a.rows();
+    assert!(col < 2 * n, "column {col} out of table range");
+    let mut v = vec![0.0; n];
+    if col < n {
+        if a[(col, col)] == 0.0 {
+            return Err(ImeError::ZeroDiagonal { row: col });
+        }
+        v[col] = 1.0 / a[(col, col)];
+    } else {
+        let j = col - n;
+        for i in 0..n {
+            if a[(i, i)] == 0.0 {
+                return Err(ImeError::ZeroDiagonal { row: i });
+            }
+            v[i] = a[(j, i)] / a[(i, i)];
+        }
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greenla_linalg::generate;
+
+    #[test]
+    fn table_matches_paper_definition() {
+        let sys = generate::diag_dominant(6, 1);
+        let a = &sys.a;
+        let t = init_table(a).unwrap();
+        assert_eq!(t.rows(), 6);
+        assert_eq!(t.cols(), 12);
+        for i in 0..6 {
+            assert!((t[(i, i)] - 1.0 / a[(i, i)]).abs() < 1e-15);
+            assert_eq!(t[(i, (i + 1) % 6)], 0.0);
+            assert!(
+                (t[(i, 6 + i)] - 1.0).abs() < 1e-15,
+                "right-block diagonal must be 1"
+            );
+            for j in 0..6 {
+                assert!((t[(i, 6 + j)] - a[(j, i)] / a[(i, i)]).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn columns_match_full_table() {
+        let sys = generate::circuit_network(8, 2);
+        let t = init_table(&sys.a).unwrap();
+        for c in 0..16 {
+            let col = init_column(&sys.a, c).unwrap();
+            for i in 0..8 {
+                assert_eq!(col[i], t[(i, c)], "column {c} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_diagonal_rejected() {
+        let mut a = Matrix::identity(3);
+        a[(1, 1)] = 0.0;
+        assert_eq!(init_table(&a), Err(ImeError::ZeroDiagonal { row: 1 }));
+        assert_eq!(init_column(&a, 1), Err(ImeError::ZeroDiagonal { row: 1 }));
+    }
+}

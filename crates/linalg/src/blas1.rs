@@ -1,0 +1,181 @@
+//! Level-1 BLAS on `f64` slices.
+//!
+//! Strides are always 1 (greenla stores matrices column-major and only ever
+//! needs contiguous-column vector ops); that keeps every kernel
+//! auto-vectorisable. Flop costs are in [`crate::flops`].
+
+/// `x · y`.
+#[inline]
+pub fn ddot(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "ddot length mismatch");
+    // Accumulate in 4 lanes so LLVM can vectorise without reassociation flags.
+    let mut acc = [0.0f64; 4];
+    let chunks = x.len() / 4;
+    for c in 0..chunks {
+        let b = c * 4;
+        for l in 0..4 {
+            acc[l] += x[b + l] * y[b + l];
+        }
+    }
+    let mut s = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..x.len() {
+        s += x[i] * y[i];
+    }
+    s
+}
+
+/// `y ← α·x + y`.
+#[inline]
+pub fn daxpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "daxpy length mismatch");
+    if alpha == 0.0 {
+        return;
+    }
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x ← α·x`.
+#[inline]
+pub fn dscal(alpha: f64, x: &mut [f64]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// `y ← x`.
+#[inline]
+pub fn dcopy(x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "dcopy length mismatch");
+    y.copy_from_slice(x);
+}
+
+/// Swap `x` and `y` element-wise.
+#[inline]
+pub fn dswap(x: &mut [f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "dswap length mismatch");
+    for (a, b) in x.iter_mut().zip(y.iter_mut()) {
+        std::mem::swap(a, b);
+    }
+}
+
+/// Index of the element with the largest absolute value (first on ties),
+/// the LAPACK pivot-search primitive. Panics on an empty slice.
+#[inline]
+pub fn idamax(x: &[f64]) -> usize {
+    assert!(!x.is_empty(), "idamax on empty slice");
+    let mut best = 0;
+    let mut bv = x[0].abs();
+    for (i, &v) in x.iter().enumerate().skip(1) {
+        let a = v.abs();
+        if a > bv {
+            bv = a;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Euclidean norm with scaling to avoid overflow/underflow.
+#[inline]
+pub fn dnrm2(x: &[f64]) -> f64 {
+    let mut scale = 0.0f64;
+    let mut ssq = 1.0f64;
+    for &v in x {
+        if v != 0.0 {
+            let a = v.abs();
+            if scale < a {
+                let r = scale / a;
+                ssq = 1.0 + ssq * r * r;
+                scale = a;
+            } else {
+                let r = a / scale;
+                ssq += r * r;
+            }
+        }
+    }
+    scale * ssq.sqrt()
+}
+
+/// Sum of absolute values.
+#[inline]
+pub fn dasum(x: &[f64]) -> f64 {
+    x.iter().map(|v| v.abs()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddot_basic() {
+        assert_eq!(ddot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn ddot_long_matches_naive() {
+        let x: Vec<f64> = (0..103).map(|i| i as f64 * 0.25).collect();
+        let y: Vec<f64> = (0..103).map(|i| (i as f64).sin()).collect();
+        let naive: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert!((ddot(&x, &y) - naive).abs() < 1e-9 * naive.abs().max(1.0));
+    }
+
+    #[test]
+    fn daxpy_updates() {
+        let mut y = vec![1.0, 1.0];
+        daxpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn daxpy_alpha_zero_is_noop() {
+        let mut y = vec![1.0, 2.0];
+        daxpy(0.0, &[f64::NAN, f64::NAN], &mut y);
+        assert_eq!(y, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn dscal_scales() {
+        let mut x = vec![1.0, -2.0];
+        dscal(-3.0, &mut x);
+        assert_eq!(x, vec![-3.0, 6.0]);
+    }
+
+    #[test]
+    fn idamax_finds_largest_abs() {
+        assert_eq!(idamax(&[1.0, -5.0, 3.0]), 1);
+        assert_eq!(idamax(&[2.0]), 0);
+    }
+
+    #[test]
+    fn idamax_first_on_tie() {
+        assert_eq!(idamax(&[-4.0, 4.0]), 0);
+    }
+
+    #[test]
+    fn dnrm2_resists_overflow() {
+        let big = 1e300;
+        let n = dnrm2(&[big, big]);
+        assert!((n - big * 2.0_f64.sqrt()).abs() / n < 1e-14);
+    }
+
+    #[test]
+    fn dnrm2_zero_vector() {
+        assert_eq!(dnrm2(&[0.0, 0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn dswap_swaps() {
+        let mut a = vec![1.0, 2.0];
+        let mut b = vec![3.0, 4.0];
+        dswap(&mut a, &mut b);
+        assert_eq!(a, vec![3.0, 4.0]);
+        assert_eq!(b, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn dasum_sums_abs() {
+        assert_eq!(dasum(&[-1.0, 2.0, -3.0]), 6.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Closed-form floating-point operation counts for every kernel in this
+//! crate, used by the solvers to charge virtual compute time on the
+//! simulated cluster and by tests that verify the paper's complexity claims
+//! (Gaussian elimination ≈ 2/3·n³, IMe ≈ 3/2·n³).
+//!
+//! Counts follow the usual LAPACK convention: one multiply-add pair counts
+//! as two flops, divisions and square roots count as one.
+
+/// Flops for `ddot` of length `n`.
+pub fn ddot(n: usize) -> u64 {
+    2 * n as u64
+}
+
+/// Flops for `daxpy` of length `n`.
+pub fn daxpy(n: usize) -> u64 {
+    2 * n as u64
+}
+
+/// Flops for `dscal` of length `n`.
+pub fn dscal(n: usize) -> u64 {
+    n as u64
+}
+
+/// Flops for `dgemv` on an `m × n` block.
+pub fn dgemv(m: usize, n: usize) -> u64 {
+    2 * (m as u64) * (n as u64)
+}
+
+/// Flops for `dger` on an `m × n` block.
+pub fn dger(m: usize, n: usize) -> u64 {
+    2 * (m as u64) * (n as u64)
+}
+
+/// Flops for `dgemm` with shape `(m, n, k)`.
+pub fn dgemm(m: usize, n: usize, k: usize) -> u64 {
+    2 * (m as u64) * (n as u64) * (k as u64)
+}
+
+/// Flops for a triangular solve with an `m × m` triangle and `n` right-hand
+/// sides.
+pub fn dtrsm(m: usize, n: usize) -> u64 {
+    (m as u64) * (m as u64) * (n as u64)
+}
+
+/// Flops for LU factorisation of an `n × n` matrix with partial pivoting
+/// (`dgetrf`): `2/3·n³ − 1/2·n² + 5/6·n`, rounded from the exact sum.
+pub fn getrf(n: usize) -> u64 {
+    let n = n as f64;
+    ((2.0 / 3.0) * n * n * n - 0.5 * n * n + (5.0 / 6.0) * n)
+        .round()
+        .max(0.0) as u64
+}
+
+/// Flops for the two triangular solves of `dgetrs` with one right-hand side:
+/// `2·n²` (n² for L-solve with unit diagonal, n² for U-solve incl. the
+/// divisions).
+pub fn getrs(n: usize) -> u64 {
+    2 * (n as u64) * (n as u64)
+}
+
+/// Leading-order model of the Inhibition Method's arithmetic complexity as
+/// stated by the paper: `3/2·n³ + O(n²)`.
+pub fn ime_paper_model(n: usize) -> u64 {
+    let n = n as f64;
+    (1.5 * n * n * n).round() as u64
+}
+
+/// Leading-order model of Gaussian elimination as stated by the paper:
+/// `2/3·n³ + O(n²)`.
+pub fn ge_paper_model(n: usize) -> u64 {
+    let n = n as f64;
+    ((2.0 / 3.0) * n * n * n).round() as u64
+}
+
+/// Bytes touched by a kernel that streams `elems` doubles once.
+pub fn bytes_f64(elems: usize) -> u64 {
+    8 * elems as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_count() {
+        assert_eq!(dgemm(2, 3, 4), 48);
+    }
+
+    #[test]
+    fn getrf_leading_term() {
+        // For large n the exact count approaches 2/3 n^3.
+        let n = 1000usize;
+        let exact = getrf(n) as f64;
+        let model = ge_paper_model(n) as f64;
+        assert!((exact - model).abs() / model < 0.01);
+    }
+
+    #[test]
+    fn ime_model_is_2_25x_ge_model() {
+        // 3/2 / (2/3) = 2.25: the paper's flop ratio between IMe and GE.
+        let n = 512;
+        let ratio = ime_paper_model(n) as f64 / ge_paper_model(n) as f64;
+        assert!((ratio - 2.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_sizes_are_zero() {
+        assert_eq!(dgemm(0, 5, 5), 0);
+        assert_eq!(getrf(0), 0);
+        assert_eq!(getrs(0), 0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Plain-text linear-system file format.
+//!
+//! The paper stresses that "the input linear system is not generated at
+//! runtime but loaded from a file to ensure consistent input data for
+//! repetitive measurements". This module provides that file format:
+//!
+//! ```text
+//! # greenla linear system v1
+//! n <order>
+//! A               (n lines of n whitespace-separated f64, row by row)
+//! ...
+//! b               (one line of n f64)
+//! [x_ref]         (optional one line of n f64)
+//! ```
+//!
+//! Values round-trip exactly via hex-float-free `{:.17e}` formatting.
+
+use crate::generate::LinearSystem;
+use crate::matrix::Matrix;
+use std::fmt::Write as _;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+const MAGIC: &str = "# greenla linear system v1";
+
+/// Serialise a system into the text format.
+pub fn to_string(sys: &LinearSystem) -> String {
+    let n = sys.n();
+    let mut out = String::with_capacity(n * n * 26 + 64);
+    out.push_str(MAGIC);
+    out.push('\n');
+    let _ = writeln!(out, "n {n}");
+    out.push_str("A\n");
+    for i in 0..n {
+        for j in 0..n {
+            if j > 0 {
+                out.push(' ');
+            }
+            let _ = write!(out, "{:.17e}", sys.a[(i, j)]);
+        }
+        out.push('\n');
+    }
+    out.push_str("b\n");
+    for (j, v) in sys.b.iter().enumerate() {
+        if j > 0 {
+            out.push(' ');
+        }
+        let _ = write!(out, "{v:.17e}");
+    }
+    out.push('\n');
+    if let Some(xr) = &sys.x_ref {
+        out.push_str("x_ref\n");
+        for (j, v) in xr.iter().enumerate() {
+            if j > 0 {
+                out.push(' ');
+            }
+            let _ = write!(out, "{v:.17e}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Errors produced while parsing a system file.
+#[derive(Debug)]
+pub enum ParseError {
+    Io(io::Error),
+    /// Wrong magic line or malformed structure, with a human explanation.
+    Format(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+fn parse_floats(line: &str, n: usize, what: &str) -> Result<Vec<f64>, ParseError> {
+    let vals: Result<Vec<f64>, _> = line.split_whitespace().map(str::parse::<f64>).collect();
+    let vals = vals.map_err(|e| ParseError::Format(format!("bad float in {what}: {e}")))?;
+    if vals.len() != n {
+        return Err(ParseError::Format(format!(
+            "{what}: expected {n} values, found {}",
+            vals.len()
+        )));
+    }
+    Ok(vals)
+}
+
+/// Parse a system from any reader.
+pub fn from_reader<R: Read>(r: R) -> Result<LinearSystem, ParseError> {
+    let mut lines = BufReader::new(r).lines();
+    let mut next = || -> Result<String, ParseError> {
+        loop {
+            match lines.next() {
+                Some(Ok(l)) => {
+                    if !l.trim().is_empty() {
+                        return Ok(l);
+                    }
+                }
+                Some(Err(e)) => return Err(e.into()),
+                None => return Err(ParseError::Format("unexpected end of file".into())),
+            }
+        }
+    };
+    let magic = next()?;
+    if magic.trim() != MAGIC {
+        return Err(ParseError::Format(format!("bad magic line {magic:?}")));
+    }
+    let nline = next()?;
+    let n: usize = nline
+        .strip_prefix("n ")
+        .ok_or_else(|| ParseError::Format("expected `n <order>`".into()))?
+        .trim()
+        .parse()
+        .map_err(|e| ParseError::Format(format!("bad order: {e}")))?;
+    if n == 0 {
+        return Err(ParseError::Format("order must be positive".into()));
+    }
+    if next()?.trim() != "A" {
+        return Err(ParseError::Format("expected `A` section".into()));
+    }
+    let mut a = Matrix::zeros(n, n);
+    for i in 0..n {
+        let row = parse_floats(&next()?, n, &format!("A row {i}"))?;
+        for (j, v) in row.into_iter().enumerate() {
+            a[(i, j)] = v;
+        }
+    }
+    if next()?.trim() != "b" {
+        return Err(ParseError::Format("expected `b` section".into()));
+    }
+    let b = parse_floats(&next()?, n, "b")?;
+    // Optional x_ref section.
+    let mut x_ref = None;
+    if let Some(Ok(l)) = lines.next() {
+        if l.trim() == "x_ref" {
+            let line = lines
+                .next()
+                .ok_or_else(|| ParseError::Format("missing x_ref values".into()))?
+                .map_err(ParseError::Io)?;
+            x_ref = Some(parse_floats(&line, n, "x_ref")?);
+        }
+    }
+    Ok(LinearSystem { a, b, x_ref })
+}
+
+/// Parse a system from a string.
+pub fn from_str(s: &str) -> Result<LinearSystem, ParseError> {
+    from_reader(s.as_bytes())
+}
+
+/// Write a system to a file.
+pub fn save(sys: &LinearSystem, path: &Path) -> Result<(), ParseError> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(to_string(sys).as_bytes())?;
+    Ok(())
+}
+
+/// Load a system from a file.
+pub fn load(path: &Path) -> Result<LinearSystem, ParseError> {
+    from_reader(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn roundtrip_exact() {
+        let sys = generate::diag_dominant(9, 11);
+        let text = to_string(&sys);
+        let back = from_str(&text).unwrap();
+        assert_eq!(back.a, sys.a);
+        assert_eq!(back.b, sys.b);
+        assert_eq!(back.x_ref, sys.x_ref);
+    }
+
+    #[test]
+    fn roundtrip_without_reference() {
+        let mut sys = generate::diag_dominant(4, 1);
+        sys.x_ref = None;
+        let back = from_str(&to_string(&sys)).unwrap();
+        assert!(back.x_ref.is_none());
+        assert_eq!(back.a, sys.a);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(matches!(from_str("nope\n"), Err(ParseError::Format(_))));
+    }
+
+    #[test]
+    fn rejects_truncated_matrix() {
+        let sys = generate::diag_dominant(3, 2);
+        let text = to_string(&sys);
+        let cut: String = text.lines().take(4).collect::<Vec<_>>().join("\n");
+        assert!(from_str(&cut).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_width_row() {
+        let text = "# greenla linear system v1\nn 2\nA\n1.0 2.0 3.0\n4.0 5.0\nb\n1.0 2.0\n";
+        assert!(matches!(from_str(text), Err(ParseError::Format(_))));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("greenla_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sys.txt");
+        let sys = generate::circuit_network(6, 4);
+        save(&sys, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.a, sys.a);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,23 @@
+//! # greenla-linalg
+//!
+//! Dense linear-algebra substrate for the `greenla` workspace: a column-major
+//! [`Matrix`] type, a from-scratch mini-BLAS (levels 1–3), well-conditioned
+//! test-system generators, closed-form flop counts for every kernel, and the
+//! plain-text linear-system file format the paper uses to keep inputs
+//! identical across repeated measurements.
+//!
+//! Everything is `f64`; all kernels are deterministic and allocation-free on
+//! the hot path so higher layers can account flops and bytes exactly.
+
+pub mod blas1;
+pub mod blas2;
+pub mod blas3;
+pub mod flops;
+pub mod generate;
+pub mod io;
+pub mod matrix;
+pub mod norms;
+pub mod permutation;
+
+pub use generate::LinearSystem;
+pub use matrix::Matrix;

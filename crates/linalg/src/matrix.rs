@@ -1,0 +1,274 @@
+//! Column-major dense matrix.
+//!
+//! Storage follows the LAPACK convention: element `(i, j)` lives at
+//! `data[i + j * rows]`. Column-major keeps the ScaLAPACK-lite crate's
+//! block-cyclic maths identical to the reference library.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Dense column-major `f64` matrix.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// All-zero matrix of shape `rows × cols`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a column-major buffer. Panics if the length is not
+    /// `rows * cols`.
+    pub fn from_col_major(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Build from row-major nested slices (convenient in tests).
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = if r == 0 { 0 } else { rows[0].len() };
+        let mut m = Self::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "ragged rows");
+            for (j, &v) in row.iter().enumerate() {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Build element-wise from a function of `(i, j)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for j in 0..cols {
+            for i in 0..rows {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` when the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Leading dimension of the underlying buffer (= `rows`).
+    pub fn ld(&self) -> usize {
+        self.rows
+    }
+
+    /// Raw column-major buffer.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw column-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrow column `j` as a contiguous slice.
+    pub fn col(&self, j: usize) -> &[f64] {
+        assert!(j < self.cols, "column {j} out of bounds ({})", self.cols);
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Mutably borrow column `j` as a contiguous slice.
+    pub fn col_mut(&mut self, j: usize) -> &mut [f64] {
+        assert!(j < self.cols, "column {j} out of bounds ({})", self.cols);
+        &mut self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Copy row `i` out into a new vector (rows are strided).
+    pub fn row_to_vec(&self, i: usize) -> Vec<f64> {
+        assert!(i < self.rows);
+        (0..self.cols).map(|j| self[(i, j)]).collect()
+    }
+
+    /// Swap rows `a` and `b` over the column range `jlo..jhi`.
+    pub fn swap_rows(&mut self, a: usize, b: usize, jlo: usize, jhi: usize) {
+        assert!(a < self.rows && b < self.rows && jhi <= self.cols && jlo <= jhi);
+        if a == b {
+            return;
+        }
+        for j in jlo..jhi {
+            let base = j * self.rows;
+            self.data.swap(base + a, base + b);
+        }
+    }
+
+    /// Transposed copy.
+    pub fn transposed(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Dense matrix-vector product `A * x` (unaccounted convenience; hot
+    /// paths use [`crate::blas2::dgemv`]).
+    #[allow(clippy::needless_range_loop)]
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        let mut y = vec![0.0; self.rows];
+        for j in 0..self.cols {
+            let xj = x[j];
+            let col = self.col(j);
+            for i in 0..self.rows {
+                y[i] += col[i] * xj;
+            }
+        }
+        y
+    }
+
+    /// Extract the contiguous sub-matrix `rows lo_i..hi_i`, `cols lo_j..hi_j`.
+    pub fn submatrix(&self, lo_i: usize, hi_i: usize, lo_j: usize, hi_j: usize) -> Matrix {
+        assert!(hi_i <= self.rows && hi_j <= self.cols && lo_i <= hi_i && lo_j <= hi_j);
+        Matrix::from_fn(hi_i - lo_i, hi_j - lo_j, |i, j| self[(lo_i + i, lo_j + j)])
+    }
+
+    /// Maximum absolute element (∞-norm of the vectorised matrix).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &v| m.max(v.abs()))
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i + j * self.rows]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i + j * self.rows]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show = self.rows.min(8);
+        for i in 0..show {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:>11.4} ", self[(i, j)])?;
+            }
+            if self.cols > 8 {
+                write!(f, "…")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_shape_and_content() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 4);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn identity_diagonal() {
+        let m = Matrix::identity(4);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(m[(i, j)], if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn col_major_layout() {
+        let m = Matrix::from_col_major(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(1, 0)], 2.0);
+        assert_eq!(m[(0, 1)], 3.0);
+        assert_eq!(m[(1, 1)], 4.0);
+    }
+
+    #[test]
+    fn from_rows_matches_indexing() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m[(1, 0)], 3.0);
+    }
+
+    #[test]
+    fn swap_rows_partial_range() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        m.swap_rows(0, 1, 1, 3);
+        assert_eq!(m.row_to_vec(0), vec![1.0, 5.0, 6.0]);
+        assert_eq!(m.row_to_vec(1), vec![4.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_fn(3, 5, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m.transposed().transposed(), m);
+    }
+
+    #[test]
+    fn matvec_identity() {
+        let m = Matrix::identity(3);
+        let x = vec![1.0, -2.0, 3.0];
+        assert_eq!(m.matvec(&x), x);
+    }
+
+    #[test]
+    fn submatrix_extracts_block() {
+        let m = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let s = m.submatrix(1, 3, 2, 4);
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.cols(), 2);
+        assert_eq!(s[(0, 0)], m[(1, 2)]);
+        assert_eq!(s[(1, 1)], m[(2, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length mismatch")]
+    fn from_col_major_length_checked() {
+        let _ = Matrix::from_col_major(2, 2, vec![0.0; 3]);
+    }
+}

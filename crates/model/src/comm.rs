@@ -1,0 +1,106 @@
+//! Critical-path costs of the simulated runtime's collectives.
+//!
+//! Each function mirrors the corresponding algorithm in
+//! `greenla_mpi::coll`: binomial trees for ordinary broadcasts/reductions,
+//! the chunked binary-tree pipeline for large broadcasts, linear gathers,
+//! and max-synchronising barriers.
+
+use crate::params::MachineParams;
+
+fn log2c(p: usize) -> f64 {
+    if p <= 1 {
+        0.0
+    } else {
+        (p as f64).log2().ceil()
+    }
+}
+
+/// Binomial-tree broadcast of `bytes` over `p` ranks: depth hops, each a
+/// full-payload message.
+pub fn bcast_binomial(p: usize, bytes: f64, m: &MachineParams) -> f64 {
+    log2c(p) * m.p2p(bytes)
+}
+
+/// Chunked binary-tree pipelined broadcast (see
+/// `RankCtx::bcast_pipelined_f64`): a depth term per chunk-sized hop plus a
+/// streaming term, and the one-word header.
+pub fn bcast_pipelined(p: usize, bytes: f64, chunk_bytes: f64, m: &MachineParams) -> f64 {
+    if p <= 1 {
+        return 0.0;
+    }
+    let depth = ((p + 1) as f64).log2().ceil();
+    let chunks = (bytes / chunk_bytes).ceil().max(1.0);
+    let cb = bytes.min(chunk_bytes);
+    // Per hop: forward the header (one send overhead) plus the first chunk
+    // (send + transport + receive); later chunks stream behind at the
+    // fan-out-2 sender rate, with the final chunk's transport at the end.
+    let per_hop = 3.0 * m.o + m.alpha + cb * m.beta;
+    depth * per_hop + (chunks - 1.0) * 2.0 * m.o + cb * m.beta
+}
+
+/// Binomial reduction of `bytes` (same shape as the broadcast).
+pub fn reduce_binomial(p: usize, bytes: f64, m: &MachineParams) -> f64 {
+    log2c(p) * m.p2p(bytes)
+}
+
+/// Allreduce = reduce + broadcast.
+pub fn allreduce(p: usize, bytes: f64, m: &MachineParams) -> f64 {
+    reduce_binomial(p, bytes, m) + bcast_binomial(p, bytes, m)
+}
+
+/// Linear gather to a root: the root serialises one receive overhead per
+/// child and the last payload's transport.
+pub fn gather_linear(p: usize, bytes_per_rank: f64, m: &MachineParams) -> f64 {
+    if p <= 1 {
+        return 0.0;
+    }
+    (p as f64 - 1.0) * (m.o + bytes_per_rank * m.beta) + m.alpha + m.o
+}
+
+/// Registry barrier: `α·⌈log₂ p⌉ + o` past the latest arrival.
+pub fn barrier(p: usize, m: &MachineParams) -> f64 {
+    m.alpha * log2c(p) + m.o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greenla_cluster::spec::ClusterSpec;
+
+    fn m() -> MachineParams {
+        MachineParams::from_spec(&ClusterSpec::marconi_a3(64))
+    }
+
+    #[test]
+    fn pipelined_beats_binomial_on_large_payloads() {
+        let m = m();
+        let big = 8.0 * 34560.0;
+        assert!(bcast_pipelined(1296, big, 65536.0, &m) < bcast_binomial(1296, big, &m));
+    }
+
+    #[test]
+    fn binomial_fine_for_small_payloads() {
+        let m = m();
+        // One chunk: the pipeline only adds the header hop.
+        let small = 512.0;
+        let ratio = bcast_pipelined(64, small, 65536.0, &m) / bcast_binomial(64, small, &m);
+        assert!(ratio < 2.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn gather_scales_linearly() {
+        let m = m();
+        let g100 = gather_linear(100, 64.0, &m);
+        let g200 = gather_linear(200, 64.0, &m);
+        assert!(g200 / g100 > 1.8);
+    }
+
+    #[test]
+    fn degenerate_single_rank_costs_nothing() {
+        let m = m();
+        assert_eq!(bcast_binomial(1, 1e6, &m), 0.0);
+        assert_eq!(bcast_pipelined(1, 1e6, 65536.0, &m), 0.0);
+        assert_eq!(gather_linear(1, 1e6, &m), 0.0);
+        assert_eq!(barrier(1, &m), m.o);
+    }
+}

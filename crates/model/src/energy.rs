@@ -1,0 +1,137 @@
+//! Energy model on top of a predicted time breakdown: the same power
+//! coefficients the simulator's RAPL uses, applied to the predicted busy
+//! profile.
+
+use crate::solvers::TimeBreakdown;
+use greenla_cluster::placement::LoadLayout;
+use greenla_cluster::spec::NodeSpec;
+use greenla_cluster::PowerModel;
+use serde::{Deserialize, Serialize};
+
+/// Predicted job energy, split the way the monitoring framework reports it.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EnergyPrediction {
+    pub duration_s: f64,
+    pub pkg_j: f64,
+    pub dram_j: f64,
+    pub total_j: f64,
+    /// Package energy by socket index, summed over nodes.
+    pub per_socket_pkg: [f64; 2],
+    /// DRAM energy by socket index, summed over nodes.
+    pub per_socket_dram: [f64; 2],
+    pub mean_power_w: f64,
+}
+
+/// Evaluate the power model for a job of `ranks` ranks under `layout`,
+/// whose ranks each compute for `time.compute_s` seconds and sit in
+/// communication for the rest of the `time.total_s()` makespan, moving
+/// `bytes_total` DRAM bytes overall.
+pub fn energy(
+    node: &NodeSpec,
+    power: &PowerModel,
+    layout: LoadLayout,
+    ranks: usize,
+    time: &TimeBreakdown,
+    bytes_total: f64,
+) -> EnergyPrediction {
+    let rpn = layout.ranks_per_node(node);
+    assert!(ranks.is_multiple_of(rpn), "ranks must fill whole nodes");
+    let nodes = (ranks / rpn) as f64;
+    let t = time.total_s();
+    let compute_s = time.compute_s.min(t);
+    let comm_s = t - compute_s;
+    let cps = node.cpu.cores_per_socket as f64;
+    let (s0, s1) = layout.per_socket(node);
+    let per_socket_ranks = [s0 as f64, s1 as f64];
+    let loaded_sockets: f64 = per_socket_ranks.iter().filter(|&&r| r > 0.0).count() as f64;
+
+    let mut per_socket_pkg = [0.0; 2];
+    let mut per_socket_dram = [0.0; 2];
+    for s in 0..2 {
+        let rs = per_socket_ranks[s];
+        let pkg_per_node = t * (power.pkg_uncore_w + cps * power.core_idle_w)
+            + rs * (compute_s * power.core_compute_w + comm_s * power.core_comm_w);
+        let socket_bytes = if rs > 0.0 {
+            bytes_total / (nodes * loaded_sockets)
+        } else {
+            0.0
+        };
+        let dram_per_node = t * power.dram_static_w + socket_bytes * power.dram_energy_per_byte_j;
+        per_socket_pkg[s] = pkg_per_node * nodes;
+        per_socket_dram[s] = dram_per_node * nodes;
+    }
+    let pkg_j = per_socket_pkg[0] + per_socket_pkg[1];
+    let dram_j = per_socket_dram[0] + per_socket_dram[1];
+    let total_j = pkg_j + dram_j;
+    EnergyPrediction {
+        duration_s: t,
+        pkg_j,
+        dram_j,
+        total_j,
+        per_socket_pkg,
+        per_socket_dram,
+        mean_power_w: if t > 0.0 { total_j / t } else { 0.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node() -> NodeSpec {
+        NodeSpec::marconi_a3()
+    }
+
+    fn tb(compute: f64, comm: f64) -> TimeBreakdown {
+        TimeBreakdown {
+            compute_s: compute,
+            comm_s: comm,
+        }
+    }
+
+    #[test]
+    fn full_load_beats_half_load_on_energy() {
+        // Same work, same duration: half-load powers twice the nodes.
+        let p = PowerModel::deterministic();
+        let t = tb(10.0, 1.0);
+        let full = energy(&node(), &p, LoadLayout::FullLoad, 144, &t, 1e12);
+        let half = energy(&node(), &p, LoadLayout::HalfOneSocket, 144, &t, 1e12);
+        assert!(
+            half.total_j > full.total_j * 1.2,
+            "half-load {} should clearly exceed full-load {}",
+            half.total_j,
+            full.total_j
+        );
+    }
+
+    #[test]
+    fn one_socket_layout_concentrates_dram_traffic() {
+        let p = PowerModel::deterministic();
+        let t = tb(5.0, 0.5);
+        let one = energy(&node(), &p, LoadLayout::HalfOneSocket, 48, &t, 1e12);
+        assert_eq!(
+            one.per_socket_dram[1],
+            one.duration_s * p.dram_static_w * 2.0
+        );
+        assert!(one.per_socket_dram[0] > one.per_socket_dram[1]);
+        // Socket 1 is idle but still draws uncore + parked cores.
+        let drop = 1.0 - one.per_socket_pkg[1] / one.per_socket_pkg[0];
+        assert!((0.35..0.70).contains(&drop), "idle-socket drop {drop}");
+    }
+
+    #[test]
+    fn two_socket_half_load_balances() {
+        let p = PowerModel::deterministic();
+        let t = tb(5.0, 0.5);
+        let two = energy(&node(), &p, LoadLayout::HalfTwoSockets, 48, &t, 1e12);
+        assert!((two.per_socket_pkg[0] - two.per_socket_pkg[1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_scales_with_duration() {
+        let p = PowerModel::deterministic();
+        let e1 = energy(&node(), &p, LoadLayout::FullLoad, 48, &tb(1.0, 0.0), 0.0);
+        let e2 = energy(&node(), &p, LoadLayout::FullLoad, 48, &tb(2.0, 0.0), 0.0);
+        assert!((e2.total_j / e1.total_j - 2.0).abs() < 1e-9);
+    }
+}

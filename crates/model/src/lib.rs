@@ -1,0 +1,23 @@
+//! # greenla-model
+//!
+//! Analytic time/energy/traffic models for the two solvers at **paper
+//! scale**. The discrete simulator executes real numerics, so it cannot run
+//! the paper's largest configurations (n = 34560 on 1296 ranks is ~10¹³
+//! flops); this crate evaluates closed-form cost models with the *same*
+//! machine parameters (α/β/o network model, per-core sustained rate,
+//! per-core memory bandwidth, the power model) so the harness can print the
+//! paper-scale rows next to the functional-tier measurements.
+//!
+//! The models mirror the implementations structurally — per-level costs for
+//! IMeP, per-column/per-panel costs for `pdgetrf` — and `calibrate` tests
+//! pin them against the discrete simulation on configurations small enough
+//! to run both ways.
+
+pub mod comm;
+pub mod energy;
+pub mod params;
+pub mod predict;
+pub mod solvers;
+
+pub use params::MachineParams;
+pub use predict::{predict, Prediction, Scenario, Solver};

@@ -1,0 +1,206 @@
+//! One-call predictions for paper-scale configurations.
+
+use crate::energy::{energy, EnergyPrediction};
+use crate::params::MachineParams;
+use crate::solvers::{ge_bytes, ge_time, ime_bytes, ime_time, TimeBreakdown};
+use greenla_cluster::placement::LoadLayout;
+use greenla_cluster::spec::ClusterSpec;
+use greenla_cluster::PowerModel;
+use greenla_ime::par::ImepOptions;
+use serde::{Deserialize, Serialize};
+
+/// Which solver to predict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Solver {
+    /// IMeP with the paper's verbatim protocol.
+    ImePaper,
+    /// IMeP with the tuned communication (the variant the harness runs).
+    ImeOptimized,
+    /// Block-cyclic LU with partial pivoting, block size `nb`.
+    ScaLapack { nb: usize },
+}
+
+impl Solver {
+    pub fn label(&self) -> &'static str {
+        match self {
+            Solver::ImePaper => "IMe(paper)",
+            Solver::ImeOptimized => "IMe",
+            Solver::ScaLapack { .. } => "ScaLAPACK",
+        }
+    }
+}
+
+/// A run configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scenario {
+    pub n: usize,
+    pub ranks: usize,
+    pub layout: LoadLayout,
+}
+
+/// Model output for one `(solver, scenario)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Prediction {
+    pub compute_s: f64,
+    pub comm_s: f64,
+    pub time_s: f64,
+    pub energy: EnergyPrediction,
+    pub flops: f64,
+    pub dram_bytes: f64,
+}
+
+/// Predict time and energy for a scenario on a cluster.
+pub fn predict(
+    solver: Solver,
+    scenario: Scenario,
+    spec: &ClusterSpec,
+    power: &PowerModel,
+) -> Prediction {
+    let m = MachineParams::from_spec(spec);
+    let (time, bytes, flops): (TimeBreakdown, f64, f64) = match solver {
+        Solver::ImePaper => (
+            ime_time(scenario.n, scenario.ranks, &m, ImepOptions::paper()),
+            ime_bytes(scenario.n),
+            greenla_ime::formulas::flops_ime_ours(scenario.n) as f64,
+        ),
+        Solver::ImeOptimized => (
+            ime_time(scenario.n, scenario.ranks, &m, ImepOptions::optimized()),
+            ime_bytes(scenario.n),
+            greenla_ime::formulas::flops_ime_ours(scenario.n) as f64,
+        ),
+        Solver::ScaLapack { nb } => (
+            ge_time(scenario.n, scenario.ranks, nb, &m),
+            ge_bytes(scenario.n, nb),
+            greenla_linalg::flops::getrf(scenario.n) as f64
+                + greenla_linalg::flops::getrs(scenario.n) as f64,
+        ),
+    };
+    let e = energy(
+        &spec.node,
+        power,
+        scenario.layout,
+        scenario.ranks,
+        &time,
+        bytes,
+    );
+    Prediction {
+        compute_s: time.compute_s,
+        comm_s: time.comm_s,
+        time_s: time.total_s(),
+        energy: e,
+        flops,
+        dram_bytes: bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn marconi() -> (ClusterSpec, PowerModel) {
+        (ClusterSpec::marconi_a3(64), PowerModel::deterministic())
+    }
+
+    fn sc(n: usize, ranks: usize) -> Scenario {
+        Scenario {
+            n,
+            ranks,
+            layout: LoadLayout::FullLoad,
+        }
+    }
+
+    #[test]
+    fn scalapack_beats_ime_on_total_energy() {
+        // §5.4: "ScaLAPACK consumes less energy than IMe, with a consistent
+        // gap of 50% to 60%".
+        let (spec, power) = marconi();
+        for n in [8640, 17280, 25920, 34560] {
+            for ranks in [144, 576] {
+                let ime = predict(Solver::ImeOptimized, sc(n, ranks), &spec, &power);
+                let ge = predict(Solver::ScaLapack { nb: 64 }, sc(n, ranks), &spec, &power);
+                assert!(
+                    ge.energy.total_j < ime.energy.total_j,
+                    "n={n} ranks={ranks}: GE {} !< IMe {}",
+                    ge.energy.total_j,
+                    ime.energy.total_j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn power_gap_more_modest_than_energy_gap() {
+        // §5.4: the total-energy gap is 50-60 % but the *power* gap shrinks
+        // to 12-18 % — most of IMe's extra energy is extra time.
+        let (spec, power) = marconi();
+        let ime = predict(Solver::ImeOptimized, sc(17280, 144), &spec, &power);
+        let ge = predict(Solver::ScaLapack { nb: 64 }, sc(17280, 144), &spec, &power);
+        let energy_gap = 1.0 - ge.energy.total_j / ime.energy.total_j;
+        let power_gap = 1.0 - ge.energy.mean_power_w / ime.energy.mean_power_w;
+        assert!(
+            power_gap.abs() < energy_gap,
+            "power {power_gap} vs energy {energy_gap}"
+        );
+        assert!(energy_gap > 0.3, "energy gap {energy_gap}");
+    }
+
+    #[test]
+    fn full_load_most_efficient_layout() {
+        let (spec, power) = marconi();
+        for n in [8640, 17280] {
+            let full = predict(
+                Solver::ScaLapack { nb: 64 },
+                Scenario {
+                    n,
+                    ranks: 144,
+                    layout: LoadLayout::FullLoad,
+                },
+                &spec,
+                &power,
+            );
+            for layout in [LoadLayout::HalfOneSocket, LoadLayout::HalfTwoSockets] {
+                let half = predict(
+                    Solver::ScaLapack { nb: 64 },
+                    Scenario {
+                        n,
+                        ranks: 144,
+                        layout,
+                    },
+                    &spec,
+                    &power,
+                );
+                assert!(
+                    half.energy.total_j > full.energy.total_j,
+                    "n={n} {layout}: {} !> {}",
+                    half.energy.total_j,
+                    full.energy.total_j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn energy_grows_superlinearly_in_dimension() {
+        let (spec, power) = marconi();
+        let e1 = predict(Solver::ImeOptimized, sc(8640, 144), &spec, &power)
+            .energy
+            .total_j;
+        let e4 = predict(Solver::ImeOptimized, sc(34560, 144), &spec, &power)
+            .energy
+            .total_j;
+        assert!(
+            e4 / e1 > 8.0,
+            "4x dimension should cost >8x energy, got {}",
+            e4 / e1
+        );
+    }
+
+    #[test]
+    fn paper_protocol_prediction_slower_than_optimized() {
+        let (spec, power) = marconi();
+        let paper = predict(Solver::ImePaper, sc(8640, 576), &spec, &power);
+        let opt = predict(Solver::ImeOptimized, sc(8640, 576), &spec, &power);
+        assert!(paper.time_s > opt.time_s);
+        assert!(paper.energy.total_j > opt.energy.total_j);
+    }
+}

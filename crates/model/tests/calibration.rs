@@ -1,0 +1,133 @@
+//! Calibration: the analytic model's predictions must track the discrete
+//! simulator on configurations small enough to run both ways. This is what
+//! licenses using the model at paper scale.
+
+use greenla_cluster::placement::{LoadLayout, Placement};
+// Calibration points span at least two nodes so the model's inter-node
+// latency assumption matches the simulated placement.
+use greenla_cluster::spec::ClusterSpec;
+use greenla_cluster::PowerModel;
+use greenla_ime::par::ImepOptions;
+use greenla_ime::solve_imep;
+use greenla_linalg::generate;
+use greenla_model::{predict, MachineParams, Scenario, Solver};
+use greenla_mpi::Machine;
+use greenla_scalapack::pdgesv::pdgesv;
+
+/// Simulated makespan and total flops for a solver run.
+fn simulate(n: usize, ranks: usize, solver: Solver) -> (f64, u64) {
+    let spec = ClusterSpec::test_cluster(8, 4);
+    let placement = Placement::packed(&spec.node, ranks).unwrap();
+    let power = PowerModel::scaled_deterministic(&spec.node);
+    let machine = Machine::new(spec, placement, power, 77).unwrap();
+    let sys = generate::diag_dominant(n, 5);
+    machine.run(|ctx| {
+        let world = ctx.world();
+        match solver {
+            Solver::ImePaper => {
+                solve_imep(ctx, &world, &sys, ImepOptions::paper()).unwrap();
+            }
+            Solver::ImeOptimized => {
+                solve_imep(ctx, &world, &sys, ImepOptions::optimized()).unwrap();
+            }
+            Solver::ScaLapack { nb } => {
+                pdgesv(ctx, &world, &sys, nb).unwrap();
+            }
+        }
+    });
+    let makespan = machine.ledger().max_time();
+    let flops = machine.ledger().total_flops();
+    (makespan, flops)
+}
+
+fn model_time(n: usize, ranks: usize, solver: Solver) -> f64 {
+    let spec = ClusterSpec::test_cluster(8, 4);
+    let power = PowerModel::scaled_deterministic(&spec.node);
+    let p = predict(
+        solver,
+        Scenario {
+            n,
+            ranks,
+            layout: LoadLayout::FullLoad,
+        },
+        &spec,
+        &power,
+    );
+    p.time_s
+}
+
+fn assert_within_factor(model: f64, sim: f64, factor: f64, what: &str) {
+    let ratio = model / sim;
+    assert!(
+        ratio < factor && ratio > 1.0 / factor,
+        "{what}: model {model:.6} vs sim {sim:.6} (ratio {ratio:.2}, budget ×{factor})"
+    );
+}
+
+#[test]
+fn ime_model_tracks_simulator() {
+    for (n, ranks) in [(96, 16), (192, 16), (256, 32)] {
+        for solver in [Solver::ImePaper, Solver::ImeOptimized] {
+            let (sim_t, _) = simulate(n, ranks, solver);
+            let model_t = model_time(n, ranks, solver);
+            assert_within_factor(model_t, sim_t, 3.0, &format!("{solver:?} n={n} N={ranks}"));
+        }
+    }
+}
+
+#[test]
+fn ge_model_tracks_simulator() {
+    for (n, ranks, nb) in [(96, 16, 8), (192, 16, 16), (240, 32, 16)] {
+        let solver = Solver::ScaLapack { nb };
+        let (sim_t, _) = simulate(n, ranks, solver);
+        let model_t = model_time(n, ranks, solver);
+        assert_within_factor(model_t, sim_t, 3.0, &format!("GE n={n} N={ranks} nb={nb}"));
+    }
+}
+
+#[test]
+fn flop_models_match_charged_flops() {
+    let (_, sim_flops) = simulate(128, 8, Solver::ImeOptimized);
+    let model_flops = greenla_ime::formulas::flops_ime_ours(128) as f64;
+    let ratio = sim_flops as f64 / model_flops;
+    assert!((0.9..1.1).contains(&ratio), "IMe flop ratio {ratio}");
+
+    let (_, ge_flops) = simulate(128, 8, Solver::ScaLapack { nb: 16 });
+    let ge_model = greenla_linalg::flops::getrf(128) as f64;
+    let ratio = ge_flops as f64 / ge_model;
+    assert!((0.8..1.4).contains(&ratio), "GE flop ratio {ratio}");
+}
+
+#[test]
+fn relative_ordering_agrees_between_model_and_sim() {
+    // The property the harness relies on: whenever the simulator says one
+    // solver is clearly faster, the model agrees.
+    let n = 192;
+    let ranks = 16;
+    let (ime_sim, _) = simulate(n, ranks, Solver::ImeOptimized);
+    let (ge_sim, _) = simulate(n, ranks, Solver::ScaLapack { nb: 16 });
+    let ime_model = model_time(n, ranks, Solver::ImeOptimized);
+    let ge_model = model_time(n, ranks, Solver::ScaLapack { nb: 16 });
+    if ime_sim > ge_sim * 1.3 {
+        assert!(
+            ime_model > ge_model,
+            "model flipped a clear simulator ordering"
+        );
+    }
+    if ge_sim > ime_sim * 1.3 {
+        assert!(
+            ge_model > ime_model,
+            "model flipped a clear simulator ordering"
+        );
+    }
+}
+
+#[test]
+fn machine_params_consistent_between_tiers() {
+    let spec = ClusterSpec::marconi_a3(4);
+    let m = MachineParams::from_spec(&spec);
+    // The parameters the model runs on are exactly the spec the simulator
+    // charges against — no hidden second set of constants.
+    assert_eq!(m.rate, spec.node.cpu.sustained_flops_per_core);
+    assert_eq!(m.o, spec.net.per_message_overhead_s);
+}

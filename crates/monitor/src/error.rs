@@ -1,0 +1,33 @@
+//! Monitoring failures.
+
+use greenla_papi::PapiError;
+use std::fmt;
+
+/// Why monitoring could not be set up or completed. The protocol
+/// propagates a monitoring rank's failure to every rank of its node so the
+/// job fails coherently instead of deadlocking in a barrier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MonitorError {
+    /// PAPI failed on the monitoring rank (the numeric code travels to the
+    /// other ranks of the node).
+    Papi(i32),
+    /// Result file could not be written.
+    Io(String),
+}
+
+impl From<PapiError> for MonitorError {
+    fn from(e: PapiError) -> Self {
+        MonitorError::Papi(e.code())
+    }
+}
+
+impl fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonitorError::Papi(code) => write!(f, "PAPI failure on monitoring rank: code {code}"),
+            MonitorError::Io(m) => write!(f, "monitor file i/o: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MonitorError {}

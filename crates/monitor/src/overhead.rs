@@ -1,0 +1,100 @@
+//! Monitoring-overhead measurement.
+//!
+//! The paper concedes "a compromise … regarding the time spent on
+//! synchronization, which … results in slower program execution and adds
+//! some overhead, not directly to the linear system solver algorithm, but
+//! to the overall execution". This module quantifies that claim: run the
+//! same workload with and without the monitoring protocol and compare
+//! virtual makespans (experiment E-O1).
+
+use crate::monitoring::MonitorConfig;
+use crate::protocol::monitored_run;
+use greenla_mpi::{Machine, RankCtx};
+use greenla_rapl::RaplSim;
+use std::sync::Arc;
+
+/// Outcome of an overhead measurement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OverheadReport {
+    /// Virtual makespan with the monitoring protocol injected.
+    pub monitored_s: f64,
+    /// Virtual makespan of the bare workload.
+    pub raw_s: f64,
+}
+
+impl OverheadReport {
+    /// Fractional slowdown, e.g. 0.02 = 2 % overhead.
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.raw_s > 0.0 {
+            (self.monitored_s - self.raw_s) / self.raw_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Run `workload` twice on freshly built machines — once bare, once under
+/// the full monitoring protocol — and report both makespans.
+///
+/// `build` must return identically configured machines (same spec,
+/// placement, power model, seed) so the two runs differ only in the
+/// monitoring instrumentation.
+pub fn measure_overhead(
+    build: impl Fn() -> Machine,
+    workload: impl Fn(&mut RankCtx) + Sync,
+) -> OverheadReport {
+    let raw_machine = build();
+    let raw = raw_machine.run(|ctx| workload(ctx));
+
+    let mon_machine = build();
+    let rapl = Arc::new(RaplSim::new(
+        mon_machine.ledger(),
+        mon_machine.power().clone(),
+        mon_machine.seed(),
+    ));
+    let cfg = MonitorConfig::default();
+    let mon = mon_machine.run(|ctx| {
+        monitored_run(ctx, &rapl, &cfg, |ctx, _| workload(ctx)).expect("monitored run failed");
+    });
+
+    OverheadReport {
+        monitored_s: mon.makespan,
+        raw_s: raw.makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greenla_cluster::placement::Placement;
+    use greenla_cluster::spec::ClusterSpec;
+    use greenla_cluster::PowerModel;
+    use greenla_mpi::Machine;
+
+    fn build() -> Machine {
+        let spec = ClusterSpec::test_cluster(2, 4);
+        let placement = Placement::packed(&spec.node, 16).unwrap();
+        Machine::new(spec, placement, PowerModel::deterministic(), 9).unwrap()
+    }
+
+    #[test]
+    fn monitoring_adds_small_positive_overhead() {
+        let report = measure_overhead(build, |ctx| {
+            // Uneven work so barriers actually cost something.
+            ctx.compute(1_000_000 * (1 + ctx.rank() as u64), 0);
+        });
+        assert!(report.monitored_s > report.raw_s, "{report:?}");
+        let frac = report.overhead_fraction();
+        assert!(
+            frac > 0.0 && frac < 0.25,
+            "overhead {frac} out of the plausible band"
+        );
+    }
+
+    #[test]
+    fn overhead_shrinks_for_longer_workloads() {
+        let short = measure_overhead(build, |ctx| ctx.compute(100_000, 0));
+        let long = measure_overhead(build, |ctx| ctx.compute(100_000_000, 0));
+        assert!(long.overhead_fraction() < short.overhead_fraction());
+    }
+}

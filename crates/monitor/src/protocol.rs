@@ -1,0 +1,147 @@
+//! The Figure-2 choreography: rank grouping, monitoring-rank designation,
+//! and the barrier protocol around the measured region.
+//!
+//! ```text
+//! MPI_Comm_split_type(SHARED)            → one communicator per node
+//! monitoring rank = highest rank of node comm
+//! MPI_Barrier(node comm)                 → align the node
+//! monitoring rank: start_monitoring()
+//! MPI_Barrier(COMM_WORLD)                → align the job
+//! every rank: its share of the solver
+//! MPI_Barrier(node comm)                 → wait for the node's ranks
+//! monitoring rank: end_monitoring()
+//! MPI_Barrier(COMM_WORLD)                → final alignment
+//! ```
+//!
+//! The node barrier before `end_monitoring` is what makes the measurement
+//! *correct*: the counters are read only after every rank of the node has
+//! finished its share, so the window covers all of the node's work (the
+//! property `tests/monitor_correctness.rs` checks, including the failure
+//! of a barrier-less variant).
+
+use crate::error::MonitorError;
+use crate::files;
+use crate::monitoring::{end_monitoring, start_monitoring, MonitorConfig, Session};
+use crate::report::NodeReport;
+use greenla_mpi::{Comm, RankCtx};
+use greenla_rapl::RaplSim;
+use std::sync::Arc;
+
+/// In-band status word broadcast over the node communicator after PAPI
+/// bring-up so a monitoring-rank failure aborts the whole node coherently.
+/// Zero means success; failures carry the (negative) PAPI code
+/// sign-extended to u64.
+const STATUS_OK: u64 = 0;
+
+/// Live monitoring state carried through the measured region.
+pub struct MonitorHandle {
+    node_comm: Comm,
+    session: Option<Session>,
+    monitor_rank_world: usize,
+}
+
+/// Result of a monitored run on one rank.
+pub struct MonitorOutput<R> {
+    /// The workload's return value.
+    pub result: R,
+    /// The node report — `Some` only on monitoring ranks.
+    pub report: Option<NodeReport>,
+}
+
+impl MonitorHandle {
+    /// Rank grouping + designation + measurement start (first half of the
+    /// Figure-2 flow). Collective over the world communicator.
+    pub fn begin(
+        ctx: &mut RankCtx,
+        rapl: &Arc<RaplSim>,
+        cfg: &MonitorConfig,
+    ) -> Result<MonitorHandle, MonitorError> {
+        let world = ctx.world();
+        let node_comm = ctx.split_shared(&world);
+        let is_monitor = node_comm.is_highest();
+        let monitor_rank_world = node_comm.global_rank(node_comm.size() - 1);
+        // Node synchronisation before measurements begin.
+        ctx.barrier(&node_comm);
+        let mut status = vec![STATUS_OK];
+        let mut session = None;
+        if is_monitor {
+            match start_monitoring(rapl, ctx.node(), cfg, ctx.now()) {
+                Ok(s) => session = Some(s),
+                Err(MonitorError::Papi(code)) => status = vec![code as i64 as u64],
+                Err(MonitorError::Io(_)) => unreachable!("start does no file i/o"),
+            }
+        }
+        // The monitoring rank shares its bring-up status with its node.
+        let root = node_comm.size() - 1;
+        ctx.bcast_u64(&node_comm, root, &mut status);
+        if status[0] != STATUS_OK {
+            return Err(MonitorError::Papi(status[0] as i64 as i32));
+        }
+        // General execution synchronisation.
+        ctx.barrier(&world);
+        Ok(MonitorHandle {
+            node_comm,
+            session,
+            monitor_rank_world,
+        })
+    }
+
+    /// Mark a phase boundary (e.g. between matrix allocation and solver
+    /// execution). Collective over the node communicator: all ranks of the
+    /// node synchronise so the boundary is well defined.
+    pub fn phase(&mut self, ctx: &mut RankCtx, label: &str) -> Result<(), MonitorError> {
+        ctx.barrier(&self.node_comm);
+        if let Some(s) = self.session.as_mut() {
+            s.mark_phase(label, ctx.now())?;
+        }
+        Ok(())
+    }
+
+    /// Measurement stop + teardown (second half of the Figure-2 flow).
+    pub fn finish(
+        self,
+        ctx: &mut RankCtx,
+        cfg: &MonitorConfig,
+    ) -> Result<Option<NodeReport>, MonitorError> {
+        // Ranks of the node synchronise so the monitoring rank stops only
+        // after all of them completed their share.
+        ctx.barrier(&self.node_comm);
+        let mut report = None;
+        if let Some(session) = self.session {
+            let r = end_monitoring(session, ctx.node(), self.monitor_rank_world, ctx.now())?;
+            if let Some(dir) = &cfg.output_dir {
+                files::write_node_report(dir, &r).map_err(|e| MonitorError::Io(e.to_string()))?;
+            }
+            report = Some(r);
+        }
+        // Final job-wide alignment (then MPI_Finalize in the C framework).
+        let world = ctx.world();
+        ctx.barrier(&world);
+        Ok(report)
+    }
+
+    /// The node communicator (for tests and phase-aware workloads).
+    pub fn node_comm(&self) -> &Comm {
+        &self.node_comm
+    }
+
+    /// Is this rank its node's monitoring rank?
+    pub fn is_monitor(&self) -> bool {
+        self.session.is_some()
+    }
+}
+
+/// Run `workload` under monitoring: the complete Figure-2 flow in one call.
+/// The workload receives the rank context and the handle (to mark phase
+/// boundaries).
+pub fn monitored_run<R>(
+    ctx: &mut RankCtx,
+    rapl: &Arc<RaplSim>,
+    cfg: &MonitorConfig,
+    workload: impl FnOnce(&mut RankCtx, &mut MonitorHandle) -> R,
+) -> Result<MonitorOutput<R>, MonitorError> {
+    let mut handle = MonitorHandle::begin(ctx, rapl, cfg)?;
+    let result = workload(ctx, &mut handle);
+    let report = handle.finish(ctx, cfg)?;
+    Ok(MonitorOutput { result, report })
+}

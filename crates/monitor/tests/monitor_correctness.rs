@@ -1,0 +1,259 @@
+//! End-to-end correctness of the monitoring framework on the simulated
+//! cluster: designation, measurement-window coverage, agreement with the
+//! ground-truth power model, phase accounting, and failure propagation.
+
+use greenla_cluster::placement::{LoadLayout, Placement};
+use greenla_cluster::spec::ClusterSpec;
+use greenla_cluster::PowerModel;
+use greenla_monitor::monitoring::MonitorConfig;
+use greenla_monitor::protocol::monitored_run;
+use greenla_monitor::report::JobSummary;
+use greenla_monitor::MonitorError;
+use greenla_mpi::Machine;
+use greenla_rapl::{Domain, RaplSim};
+use std::sync::Arc;
+
+fn machine(nodes: usize, ranks: usize) -> Machine {
+    let spec = ClusterSpec::test_cluster(nodes, 4);
+    let placement = Placement::layout(&spec.node, ranks, LoadLayout::FullLoad).unwrap();
+    Machine::new(spec, placement, PowerModel::deterministic(), 21).unwrap()
+}
+
+fn rapl_for(m: &Machine) -> Arc<RaplSim> {
+    Arc::new(RaplSim::new(m.ledger(), m.power().clone(), m.seed()))
+}
+
+#[test]
+fn exactly_one_monitoring_rank_per_node_and_it_is_the_highest() {
+    let m = machine(3, 24); // 8 ranks/node
+    let rapl = rapl_for(&m);
+    let out = m.run(|ctx| {
+        let r = monitored_run(ctx, &rapl, &MonitorConfig::default(), |ctx, _| {
+            ctx.compute(1_000_000, 0);
+        })
+        .unwrap();
+        r.report.is_some()
+    });
+    for (rank, &is_mon) in out.results.iter().enumerate() {
+        // Highest rank on each 8-rank node: 7, 15, 23.
+        assert_eq!(is_mon, rank % 8 == 7, "rank {rank}");
+    }
+}
+
+#[test]
+fn measurement_window_covers_every_ranks_work() {
+    let m = machine(2, 16);
+    let rapl = rapl_for(&m);
+    let out = m.run(|ctx| {
+        let r = monitored_run(ctx, &rapl, &MonitorConfig::default(), |ctx, _| {
+            // Strongly rank-dependent workloads.
+            ctx.compute(5_000_000 * (1 + ctx.rank() as u64), 256);
+            ctx.now()
+        })
+        .unwrap();
+        (r.result, r.report)
+    });
+    // Monitoring windows must start before any work and end after the
+    // slowest rank of the node.
+    for node in 0..2 {
+        let monitor = (node + 1) * 8 - 1;
+        let report = out.results[monitor]
+            .1
+            .as_ref()
+            .expect("monitor rank has a report");
+        let slowest_finish = out.results[node * 8..(node + 1) * 8]
+            .iter()
+            .map(|(t, _)| *t)
+            .fold(0.0f64, f64::max);
+        assert!(
+            report.end_usec as f64 / 1e6 >= slowest_finish * 0.999999,
+            "node {node}: window ends at {} but work ran to {slowest_finish}",
+            report.end_usec as f64 / 1e6
+        );
+    }
+}
+
+#[test]
+fn monitored_energy_matches_ground_truth_model() {
+    let m = machine(2, 16);
+    let rapl = rapl_for(&m);
+    let rapl2 = Arc::clone(&rapl);
+    let out = m.run(|ctx| {
+        monitored_run(ctx, &rapl2, &MonitorConfig::default(), |ctx, _| {
+            ctx.compute(50_000_000, 1_000_000);
+        })
+        .unwrap()
+        .report
+    });
+    for report in out.results.into_iter().flatten() {
+        let node = report.node;
+        let t0 = report.start_usec as f64 / 1e6;
+        let t1 = report.end_usec as f64 / 1e6;
+        for socket in 0..2 {
+            let measured = report.energy_j_socket(Domain::Package, socket).unwrap();
+            let truth = rapl
+                .ground_truth_j(node, socket, Domain::Package, t1)
+                .unwrap()
+                - rapl
+                    .ground_truth_j(node, socket, Domain::Package, t0)
+                    .unwrap();
+            let err = (measured - truth).abs();
+            // Quantisation loses at most ~2 ms of power plus rounding.
+            assert!(
+                err < 0.5,
+                "node {node} socket {socket}: {measured} vs {truth}"
+            );
+            assert!(measured > 0.0);
+        }
+    }
+}
+
+#[test]
+fn without_node_barrier_the_window_misses_work() {
+    // Demonstrate the design point: a monitor that stops at ITS OWN finish
+    // time (no node barrier) under-covers slower peers. This is why the
+    // paper's protocol pays the synchronisation overhead.
+    let m = machine(1, 8);
+    let out = m.run(|ctx| {
+        // Monitor (rank 7) does little work; rank 0 works long.
+        let flops = if ctx.rank() == 0 {
+            200_000_000u64
+        } else {
+            1_000_000
+        };
+        ctx.compute(flops, 0);
+        ctx.now()
+    });
+    let monitor_finish = out.results[7];
+    let slowest = out.results[0];
+    assert!(
+        monitor_finish < slowest * 0.5,
+        "naive stop time {monitor_finish} would miss most of {slowest}"
+    );
+}
+
+#[test]
+fn phases_partition_the_window() {
+    let m = machine(2, 16);
+    let rapl = rapl_for(&m);
+    let out = m.run(|ctx| {
+        monitored_run(ctx, &rapl, &MonitorConfig::default(), |ctx, handle| {
+            ctx.touch_memory(10_000_000); // allocation
+            handle.phase(ctx, "allocation").unwrap();
+            ctx.compute(80_000_000, 0); // execution
+            handle.phase(ctx, "execution").unwrap();
+        })
+        .unwrap()
+        .report
+    });
+    for report in out.results.into_iter().flatten() {
+        assert_eq!(report.phases.len(), 3, "allocation, execution, final");
+        assert_eq!(report.phases[0].label, "allocation");
+        let total: f64 = report.phases.iter().map(|p| p.duration_s).sum();
+        assert!(
+            (total - report.duration_s()).abs() < 2e-6,
+            "phases must tile the window"
+        );
+        // Per-event phase values must sum to the totals.
+        for (e, &total_uj) in report.totals_uj.iter().enumerate() {
+            let s: i64 = report.phases.iter().map(|p| p.values_uj[e]).sum();
+            assert_eq!(s, total_uj, "event {e} {}", report.events[e]);
+        }
+        // The execution phase (hard compute) must dominate energy.
+        assert!(
+            report.phases[1].values_uj[0] > report.phases[0].values_uj[0],
+            "execution should out-consume allocation on package 0"
+        );
+    }
+}
+
+#[test]
+fn per_processor_files_written_and_parse_back() {
+    let dir = std::env::temp_dir().join(format!("greenla_mon_files_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let m = machine(2, 16);
+    let rapl = rapl_for(&m);
+    let cfg = MonitorConfig {
+        events: None,
+        output_dir: Some(dir.clone()),
+    };
+    let out = m.run(|ctx| {
+        monitored_run(ctx, &rapl, &cfg, |ctx, _| ctx.compute(10_000_000, 0))
+            .unwrap()
+            .report
+    });
+    let from_files = greenla_monitor::files::load_all(&dir).unwrap();
+    assert_eq!(from_files.len(), 2, "one file per processor/node");
+    let in_memory: Vec<_> = out.results.into_iter().flatten().collect();
+    assert_eq!(from_files, in_memory);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn aggregation_produces_job_summary() {
+    let m = machine(3, 24);
+    let rapl = rapl_for(&m);
+    let out = m.run(|ctx| {
+        monitored_run(ctx, &rapl, &MonitorConfig::default(), |ctx, _| {
+            ctx.compute(30_000_000, 100_000);
+        })
+        .unwrap()
+        .report
+    });
+    let reports: Vec<_> = out.results.into_iter().flatten().collect();
+    let summary = JobSummary::aggregate(&reports);
+    assert_eq!(summary.nodes, 3);
+    assert!(summary.total_energy_j > 0.0);
+    assert!(summary.pkg_energy_j > summary.dram_energy_j);
+    assert!(summary.mean_power_w > 0.0);
+    // Full-load layout: both sockets active, similar energy.
+    let ratio = summary.pkg_by_socket_j[0] / summary.pkg_by_socket_j[1];
+    assert!((0.8..1.25).contains(&ratio), "socket balance {ratio}");
+}
+
+#[test]
+fn idle_socket_draws_half_ish_under_one_socket_layout() {
+    // §5.3's surprising observation: the "idle" socket still draws 50-60 %
+    // less (not ~100 % less) than the loaded one.
+    let spec = ClusterSpec::test_cluster(2, 4);
+    let placement = Placement::layout(&spec.node, 8, LoadLayout::HalfOneSocket).unwrap();
+    let power = PowerModel::scaled_deterministic(&spec.node);
+    let m = Machine::new(spec, placement, power, 22).unwrap();
+    let rapl = rapl_for(&m);
+    let out = m.run(|ctx| {
+        monitored_run(ctx, &rapl, &MonitorConfig::default(), |ctx, _| {
+            ctx.compute(100_000_000, 0);
+        })
+        .unwrap()
+        .report
+    });
+    for report in out.results.into_iter().flatten() {
+        let loaded = report.energy_j_socket(Domain::Package, 0).unwrap();
+        let idle = report.energy_j_socket(Domain::Package, 1).unwrap();
+        let drop = 1.0 - idle / loaded;
+        assert!(
+            (0.4..0.65).contains(&drop),
+            "idle socket should consume 50-60% less, got {:.0}% less",
+            drop * 100.0
+        );
+    }
+}
+
+#[test]
+fn papi_failure_reported_on_every_rank_of_the_node() {
+    let m = machine(1, 8);
+    let rapl = rapl_for(&m);
+    let cfg = MonitorConfig {
+        // A bogus event name: add_named_event fails on the monitoring rank.
+        events: Some(vec!["powercap:::ENERGY_UJ:ZONE99".into()]),
+        output_dir: None,
+    };
+    let out = m.run(|ctx| monitored_run(ctx, &rapl, &cfg, |ctx, _| ctx.compute(1000, 0)).err());
+    for e in out.results {
+        assert_eq!(
+            e,
+            Some(MonitorError::Papi(-7)),
+            "PAPI_ENOEVNT must reach every rank"
+        );
+    }
+}

@@ -1,0 +1,289 @@
+//! Data-moving collectives, implemented as binomial trees over the
+//! point-to-point layer so their timing and traffic emerge from the same
+//! α + β·size model as everything else.
+//!
+//! A tree broadcast over `P` ranks performs `P − 1` sends — the same count
+//! the paper's closed-form message formulas assume for master-to-slaves
+//! broadcasts — while achieving `O(log P)` depth, as production MPI does.
+
+use crate::comm::Comm;
+use crate::context::{RankCtx, COLL_TAG};
+use crate::envelope::Payload;
+
+/// Marker chunk id for unchunked collective messages (keeps plain and
+/// pipelined tags disjoint under one sequence number).
+const PLAIN_CHUNK: u64 = 0xfffff;
+/// Chunk id of the pipelined-broadcast header message.
+const HEADER_CHUNK: u64 = 0xffffe;
+
+impl<'m> RankCtx<'m> {
+    fn coll_tag(&mut self, comm: &Comm) -> u64 {
+        COLL_TAG | (self.next_seq(comm.id()) << 20) | PLAIN_CHUNK
+    }
+
+    /// Binomial-tree broadcast of an arbitrary payload from `root`.
+    fn bcast_payload(&mut self, comm: &Comm, root: usize, payload: Option<Payload>) -> Payload {
+        let p = comm.size();
+        let tag = self.coll_tag(comm);
+        if p == 1 {
+            return payload.expect("root must supply the broadcast payload");
+        }
+        let me = comm.rank();
+        let rel = (me + p - root) % p;
+        let mut data: Option<Payload> = if rel == 0 {
+            Some(payload.expect("root must supply the broadcast payload"))
+        } else {
+            None
+        };
+        let mut mask = 1usize;
+        while mask < p {
+            if rel & mask != 0 {
+                let src_index = (rel - mask + root) % p;
+                data = Some(self.recv_payload(comm, src_index, tag));
+                break;
+            }
+            mask <<= 1;
+        }
+        mask >>= 1;
+        while mask > 0 {
+            if rel + mask < p {
+                let dst_index = (rel + mask + root) % p;
+                let d = data
+                    .as_ref()
+                    .expect("broadcast data must exist before fan-out");
+                self.send_payload(comm, dst_index, tag, d.clone());
+            }
+            mask >>= 1;
+        }
+        data.expect("broadcast produced no data")
+    }
+
+    /// `MPI_Bcast` of doubles: `buf` is the payload at the root and is
+    /// overwritten (and resized) everywhere else.
+    pub fn bcast_f64(&mut self, comm: &Comm, root: usize, buf: &mut Vec<f64>) {
+        let payload = if comm.rank() == root {
+            Some(Payload::F64(std::mem::take(buf)))
+        } else {
+            None
+        };
+        *buf = self.bcast_payload(comm, root, payload).expect_f64();
+    }
+
+    /// Pipelined large-message broadcast: a binary tree over the
+    /// communicator with the payload cut into `chunk_elems`-sized pieces
+    /// that stream down the tree, so the critical path is
+    /// `O(α·log P + β·size)` instead of the binomial tree's
+    /// `O((α + β·size)·log P)` — what production MPI switches to above a
+    /// few kilobytes. Falls back to the binomial tree for payloads of at
+    /// most one chunk.
+    pub fn bcast_pipelined_f64(
+        &mut self,
+        comm: &Comm,
+        root: usize,
+        buf: &mut Vec<f64>,
+        chunk_elems: usize,
+    ) {
+        assert!(chunk_elems > 0, "chunk size must be positive");
+        let p = comm.size();
+        let me = comm.rank();
+        if p == 1 {
+            self.next_seq(comm.id());
+            return;
+        }
+        let seq = self.next_seq(comm.id());
+        let tag = |chunk: u64| COLL_TAG | (seq << 20) | chunk;
+        let rel = (me + p - root) % p;
+        let parent = if rel == 0 {
+            None
+        } else {
+            Some(((rel - 1) / 2 + root) % p)
+        };
+        let kids: Vec<usize> = [2 * rel + 1, 2 * rel + 2]
+            .into_iter()
+            .filter(|&c| c < p)
+            .map(|c| (c + root) % p)
+            .collect();
+        // Header: total length (receivers cannot know it otherwise).
+        let mut header = if rel == 0 {
+            vec![buf.len() as u64]
+        } else {
+            Vec::new()
+        };
+        if let Some(par) = parent {
+            header = self.recv_payload_u64(comm, par, tag(HEADER_CHUNK));
+        }
+        for &k in &kids {
+            self.send_payload_u64(comm, k, tag(HEADER_CHUNK), &header);
+        }
+        let total = header[0] as usize;
+        let nchunks = total.div_ceil(chunk_elems).max(1);
+        let mut out: Vec<f64> = if rel == 0 {
+            std::mem::take(buf)
+        } else {
+            Vec::with_capacity(total)
+        };
+        for c in 0..nchunks {
+            let lo = c * chunk_elems;
+            let hi = total.min(lo + chunk_elems);
+            let piece: Vec<f64> = if rel == 0 {
+                out[lo..hi].to_vec()
+            } else {
+                let got = self
+                    .recv_payload(comm, parent.expect("non-root has parent"), tag(c as u64))
+                    .expect_f64();
+                out.extend_from_slice(&got);
+                got
+            };
+            for &k in &kids {
+                self.send_payload(comm, k, tag(c as u64), Payload::F64(piece.clone()));
+            }
+        }
+        *buf = out;
+    }
+
+    fn recv_payload_u64(&mut self, comm: &Comm, src_index: usize, tag: u64) -> Vec<u64> {
+        self.recv_payload(comm, src_index, tag).expect_u64()
+    }
+
+    fn send_payload_u64(&mut self, comm: &Comm, dst_index: usize, tag: u64, data: &[u64]) {
+        self.send_payload(comm, dst_index, tag, Payload::U64(data.to_vec()));
+    }
+
+    /// `MPI_Bcast` of u64 values.
+    pub fn bcast_u64(&mut self, comm: &Comm, root: usize, buf: &mut Vec<u64>) {
+        let payload = if comm.rank() == root {
+            Some(Payload::U64(std::mem::take(buf)))
+        } else {
+            None
+        };
+        *buf = self.bcast_payload(comm, root, payload).expect_u64();
+    }
+
+    /// Binomial-tree reduction of f64 vectors toward `root` with a custom
+    /// element-wise combiner. Returns `Some(result)` at the root, `None`
+    /// elsewhere.
+    pub fn reduce_f64_with(
+        &mut self,
+        comm: &Comm,
+        root: usize,
+        mut acc: Vec<f64>,
+        op: impl Fn(&mut [f64], &[f64]),
+    ) -> Option<Vec<f64>> {
+        let p = comm.size();
+        let tag = self.coll_tag(comm);
+        if p == 1 {
+            return Some(acc);
+        }
+        let me = comm.rank();
+        let rel = (me + p - root) % p;
+        let mut mask = 1usize;
+        while mask < p {
+            if rel & mask == 0 {
+                let src_rel = rel | mask;
+                if src_rel < p {
+                    let src_index = (src_rel + root) % p;
+                    let other = self.recv_payload(comm, src_index, tag).expect_f64();
+                    assert_eq!(other.len(), acc.len(), "reduce length mismatch");
+                    op(&mut acc, &other);
+                }
+            } else {
+                let dst_index = (rel - mask + root) % p;
+                self.send_payload(comm, dst_index, tag, Payload::F64(acc));
+                return None;
+            }
+            mask <<= 1;
+        }
+        Some(acc)
+    }
+
+    /// `MPI_Reduce(MPI_SUM)` of f64 vectors.
+    pub fn reduce_sum_f64(&mut self, comm: &Comm, root: usize, data: &[f64]) -> Option<Vec<f64>> {
+        self.reduce_f64_with(comm, root, data.to_vec(), |a, b| {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        })
+    }
+
+    /// `MPI_Allreduce(MPI_SUM)` of f64 vectors (reduce to 0, then bcast).
+    pub fn allreduce_sum_f64(&mut self, comm: &Comm, data: &[f64]) -> Vec<f64> {
+        let reduced = self.reduce_sum_f64(comm, 0, data);
+        let mut buf = reduced.unwrap_or_default();
+        self.bcast_f64(comm, 0, &mut buf);
+        buf
+    }
+
+    /// `MPI_Allreduce(MPI_MAX)` of a scalar.
+    pub fn allreduce_max_f64(&mut self, comm: &Comm, v: f64) -> f64 {
+        let reduced = self.reduce_f64_with(comm, 0, vec![v], |a, b| {
+            if b[0] > a[0] {
+                a[0] = b[0];
+            }
+        });
+        let mut buf = reduced.unwrap_or_default();
+        self.bcast_f64(comm, 0, &mut buf);
+        buf[0]
+    }
+
+    /// `MPI_Allreduce(MPI_MAXLOC)`: the maximum of `|v|` ties broken by the
+    /// smaller `loc`; returns `(winning value, winning loc)`. The pivot
+    /// search of distributed LU is built on this.
+    pub fn allreduce_maxloc_abs(&mut self, comm: &Comm, v: f64, loc: u64) -> (f64, u64) {
+        let reduced = self.reduce_f64_with(comm, 0, vec![v, loc as f64], |a, b| {
+            let better = b[0].abs() > a[0].abs() || (b[0].abs() == a[0].abs() && b[1] < a[1]);
+            if better {
+                a[0] = b[0];
+                a[1] = b[1];
+            }
+        });
+        let mut buf = reduced.unwrap_or_default();
+        self.bcast_f64(comm, 0, &mut buf);
+        (buf[0], buf[1] as u64)
+    }
+
+    /// `MPI_Gather` of variable-length f64 chunks: the root receives every
+    /// member's chunk in communicator order (its own included).
+    pub fn gather_f64(&mut self, comm: &Comm, root: usize, data: &[f64]) -> Option<Vec<Vec<f64>>> {
+        let p = comm.size();
+        let tag = self.coll_tag(comm);
+        let me = comm.rank();
+        if me == root {
+            let mut out: Vec<Vec<f64>> = Vec::with_capacity(p);
+            for i in 0..p {
+                if i == me {
+                    out.push(data.to_vec());
+                } else {
+                    out.push(self.recv_payload(comm, i, tag).expect_f64());
+                }
+            }
+            Some(out)
+        } else {
+            self.send_payload(comm, root, tag, Payload::F64(data.to_vec()));
+            None
+        }
+    }
+
+    /// `MPI_Allgather` of variable-length f64 chunks: gather to rank 0 and
+    /// re-broadcast (counts first, then the flattened payload).
+    pub fn allgather_f64(&mut self, comm: &Comm, data: &[f64]) -> Vec<Vec<f64>> {
+        let gathered = self.gather_f64(comm, 0, data);
+        let (mut counts, mut flat) = match gathered {
+            Some(chunks) => {
+                let counts: Vec<u64> = chunks.iter().map(|c| c.len() as u64).collect();
+                let flat: Vec<f64> = chunks.into_iter().flatten().collect();
+                (counts, flat)
+            }
+            None => (Vec::new(), Vec::new()),
+        };
+        self.bcast_u64(comm, 0, &mut counts);
+        self.bcast_f64(comm, 0, &mut flat);
+        let mut out = Vec::with_capacity(counts.len());
+        let mut off = 0usize;
+        for c in counts {
+            let c = c as usize;
+            out.push(flat[off..off + c].to_vec());
+            off += c;
+        }
+        out
+    }
+}

@@ -1,0 +1,379 @@
+//! Per-rank execution context: the API rank code programs against.
+
+use crate::comm::{Comm, WORLD_ID};
+use crate::envelope::{Envelope, Payload};
+use crate::registry::Registry;
+use crate::traffic::Traffic;
+use crossbeam_channel::{Receiver, RecvTimeoutError, Sender};
+use greenla_cluster::ledger::{ActivityKind, Interval, Ledger};
+use greenla_cluster::placement::Placement;
+use greenla_cluster::spec::ClusterSpec;
+use greenla_cluster::topology::CoreId;
+use greenla_cluster::PowerModel;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+const POLL: Duration = Duration::from_millis(25);
+
+/// Tag bit reserved for collective-internal messages; user tags must stay
+/// below it.
+pub const COLL_TAG: u64 = 1 << 63;
+
+/// Execution context handed to each rank's closure by
+/// [`crate::Machine::run`]. All communication and virtual-time charging
+/// goes through this handle.
+pub struct RankCtx<'m> {
+    pub(crate) rank: usize,
+    pub(crate) nranks: usize,
+    pub(crate) core: CoreId,
+    pub(crate) clock: f64,
+    pub(crate) spec: &'m ClusterSpec,
+    pub(crate) power: &'m PowerModel,
+    pub(crate) seed: u64,
+    pub(crate) perf_mult: f64,
+    pub(crate) ledger: &'m Ledger,
+    pub(crate) traffic: &'m Traffic,
+    pub(crate) registry: &'m Registry,
+    pub(crate) placement: &'m Placement,
+    pub(crate) rx: Receiver<Envelope>,
+    pub(crate) txs: Arc<Vec<Sender<Envelope>>>,
+    pub(crate) pending: Vec<Envelope>,
+    /// Per-communicator collective sequence numbers (barrier/split/bcast/…
+    /// all consume from the same stream, so ordering is consistent as long
+    /// as ranks issue collectives in the same order — the MPI contract).
+    pub(crate) seqs: HashMap<u64, u64>,
+    pub(crate) world_members: Arc<Vec<usize>>,
+}
+
+impl<'m> RankCtx<'m> {
+    /// Global rank (index in the world communicator).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> usize {
+        self.nranks
+    }
+
+    /// The world communicator.
+    pub fn world(&self) -> Comm {
+        Comm::new(WORLD_ID, Arc::clone(&self.world_members), self.rank)
+    }
+
+    /// Physical core this rank is pinned to.
+    pub fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// Node index of this rank.
+    pub fn node(&self) -> usize {
+        self.core.node
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    /// Cluster specification.
+    pub fn cluster(&self) -> &ClusterSpec {
+        self.spec
+    }
+
+    /// Power model of the machine (monitoring layers read energies through
+    /// RAPL, but the model itself is public for ground-truth comparisons).
+    pub fn power_model(&self) -> &PowerModel {
+        self.power
+    }
+
+    /// Run seed (selects node jitter draws).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Activity ledger (read-only use; the context itself records).
+    pub fn ledger(&self) -> &Ledger {
+        self.ledger
+    }
+
+    /// Rank placement for the run.
+    pub fn placement(&self) -> &Placement {
+        self.placement
+    }
+
+    // ----- virtual-time charging -------------------------------------------------
+
+    /// Record a busy interval of `dt` seconds starting at the current clock
+    /// and advance the clock.
+    fn busy(&mut self, dt: f64, kind: ActivityKind, flops: u64) {
+        debug_assert!(dt >= 0.0, "negative busy time {dt}");
+        if dt <= 0.0 && flops == 0 {
+            return;
+        }
+        let start = self.clock;
+        let end = start + dt;
+        self.ledger.record(
+            self.core,
+            Interval {
+                start,
+                end,
+                kind,
+                flops,
+            },
+        );
+        self.clock = end;
+    }
+
+    /// Advance to an absolute time `t`, recording the elapsed span as busy
+    /// communication (spin-waiting, as blocking MPI calls do).
+    fn busy_until(&mut self, t: f64, kind: ActivityKind) {
+        if t > self.clock {
+            let start = self.clock;
+            self.ledger.record(
+                self.core,
+                Interval {
+                    start,
+                    end: t,
+                    kind,
+                    flops: 0,
+                },
+            );
+            self.clock = t;
+        }
+    }
+
+    /// Charge `flops` floating-point operations touching `dram_bytes` bytes
+    /// of memory. Virtual time advances by the larger of the flop time (at
+    /// the node's jittered sustained rate) and the memory time (at this
+    /// core's share of socket DRAM bandwidth).
+    pub fn compute(&mut self, flops: u64, dram_bytes: u64) {
+        let rate = self.spec.node.cpu.sustained_flops_per_core * self.perf_mult;
+        let t_flops = flops as f64 / rate;
+        let per_core_bw =
+            self.spec.node.dram_bw_bytes_per_s / self.spec.node.cpu.cores_per_socket as f64;
+        let t_mem = dram_bytes as f64 / per_core_bw;
+        if dram_bytes > 0 {
+            self.ledger
+                .record_dram(self.core.node, self.core.socket, self.clock, dram_bytes);
+        }
+        self.busy(t_flops.max(t_mem), ActivityKind::Compute, flops);
+    }
+
+    /// Charge a pure memory operation (allocation, initialisation, copies)
+    /// with no arithmetic — the paper monitors the allocation phase
+    /// separately from the computation phase.
+    pub fn touch_memory(&mut self, dram_bytes: u64) {
+        self.compute(0, dram_bytes);
+    }
+
+    /// Advance virtual time without recording activity (idle sleep).
+    pub fn sleep(&mut self, dt: f64) {
+        assert!(dt >= 0.0);
+        self.clock += dt;
+    }
+
+    // ----- point-to-point --------------------------------------------------------
+
+    pub(crate) fn send_payload(
+        &mut self,
+        comm: &Comm,
+        dst_index: usize,
+        tag: u64,
+        payload: Payload,
+    ) {
+        let dst = comm.global_rank(dst_index);
+        assert!(dst != self.rank, "self-send on comm {}", comm.id());
+        let bytes = payload.size_bytes();
+        let same_node = self.placement.node_of(dst) == self.core.node;
+        let o = self.spec.net.per_message_overhead_s;
+        self.busy(o, ActivityKind::Comm, 0);
+        let arrival = self.clock + self.spec.net.message_time(bytes, same_node);
+        self.traffic.record(bytes, same_node);
+        self.txs[dst]
+            .send(Envelope {
+                src: self.rank,
+                comm_id: comm.id(),
+                tag,
+                arrival,
+                payload,
+            })
+            .expect("destination mailbox closed");
+    }
+
+    pub(crate) fn recv_payload(&mut self, comm: &Comm, src_index: usize, tag: u64) -> Payload {
+        let src = comm.global_rank(src_index);
+        assert!(src != self.rank, "self-receive on comm {}", comm.id());
+        let cid = comm.id();
+        loop {
+            if let Some(pos) = self
+                .pending
+                .iter()
+                .position(|e| e.src == src && e.comm_id == cid && e.tag == tag)
+            {
+                let env = self.pending.remove(pos);
+                let o = self.spec.net.per_message_overhead_s;
+                let done = (self.clock + o).max(env.arrival + o);
+                self.busy_until(done, ActivityKind::Comm);
+                return env.payload;
+            }
+            match self.rx.recv_timeout(POLL) {
+                Ok(env) => self.pending.push(env),
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.registry.is_poisoned() {
+                        panic!("simulated MPI run aborted: a peer rank failed");
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!(
+                        "all peers gone while rank {} waits for ({src}, {tag})",
+                        self.rank
+                    )
+                }
+            }
+        }
+    }
+
+    /// Non-blocking probe (`MPI_Iprobe`): has a message from `src` with
+    /// `tag` on `comm` *arrived by this rank's current virtual time*?
+    /// Drains the wire into the pending queue without blocking. A message
+    /// whose arrival timestamp lies in this rank's future is not yet
+    /// visible — exactly the semantics a causally-correct simulation needs.
+    pub fn iprobe(&mut self, comm: &Comm, src_index: usize, tag: u64) -> bool {
+        let src = comm.global_rank(src_index);
+        let cid = comm.id();
+        while let Ok(env) = self.rx.try_recv() {
+            self.pending.push(env);
+        }
+        self.pending
+            .iter()
+            .any(|e| e.src == src && e.comm_id == cid && e.tag == tag && e.arrival <= self.clock)
+    }
+
+    /// Blocking receive that waits *idle* instead of spinning: the waiting
+    /// span is not recorded as busy time (models a process sleeping in an
+    /// OS-blocking receive — e.g. a monitoring daemon between events — as
+    /// opposed to an MPI busy-poll). The clock still advances to the
+    /// message's arrival.
+    pub fn recv_f64_idle(&mut self, comm: &Comm, src: usize, tag: u64) -> Vec<f64> {
+        assert!(tag < COLL_TAG, "user tag too large");
+        let src_g = comm.global_rank(src);
+        let cid = comm.id();
+        loop {
+            if let Some(pos) = self
+                .pending
+                .iter()
+                .position(|e| e.src == src_g && e.comm_id == cid && e.tag == tag)
+            {
+                let env = self.pending.remove(pos);
+                // Advance without recording a busy interval, then charge
+                // only the wake-up/copy overhead.
+                let o = self.spec.net.per_message_overhead_s;
+                if env.arrival > self.clock {
+                    self.clock = env.arrival;
+                }
+                self.busy(o, ActivityKind::Comm, 0);
+                return env.payload.expect_f64();
+            }
+            match self.rx.recv_timeout(POLL) {
+                Ok(env) => self.pending.push(env),
+                Err(RecvTimeoutError::Timeout) => {
+                    if self.registry.is_poisoned() {
+                        panic!("simulated MPI run aborted: a peer rank failed");
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!(
+                        "all peers gone while rank {} idles for ({src_g}, {tag})",
+                        self.rank
+                    )
+                }
+            }
+        }
+    }
+
+    /// Send a slice of doubles to `dst` (communicator index) with `tag`.
+    pub fn send_f64(&mut self, comm: &Comm, dst: usize, tag: u64, data: &[f64]) {
+        assert!(tag < COLL_TAG, "user tag too large");
+        self.send_payload(comm, dst, tag, Payload::F64(data.to_vec()));
+    }
+
+    /// Receive doubles from `src` (communicator index) with `tag`.
+    pub fn recv_f64(&mut self, comm: &Comm, src: usize, tag: u64) -> Vec<f64> {
+        assert!(tag < COLL_TAG, "user tag too large");
+        self.recv_payload(comm, src, tag).expect_f64()
+    }
+
+    /// Send unsigned 64-bit values.
+    pub fn send_u64(&mut self, comm: &Comm, dst: usize, tag: u64, data: &[u64]) {
+        assert!(tag < COLL_TAG, "user tag too large");
+        self.send_payload(comm, dst, tag, Payload::U64(data.to_vec()));
+    }
+
+    /// Receive unsigned 64-bit values.
+    pub fn recv_u64(&mut self, comm: &Comm, src: usize, tag: u64) -> Vec<u64> {
+        assert!(tag < COLL_TAG, "user tag too large");
+        self.recv_payload(comm, src, tag).expect_u64()
+    }
+
+    // ----- synchronising collectives (registry-based) ----------------------------
+
+    pub(crate) fn next_seq(&mut self, comm_id: u64) -> u64 {
+        let seq = self.seqs.entry(comm_id).or_insert(0);
+        let out = *seq;
+        *seq += 1;
+        out
+    }
+
+    /// Latency parameter for a collective over this communicator: network
+    /// latency if it spans nodes, shared-memory latency otherwise.
+    pub(crate) fn coll_alpha(&self, comm: &Comm) -> f64 {
+        let first_node = self.placement.node_of(comm.global_rank(0));
+        let spans = comm
+            .members()
+            .iter()
+            .any(|&g| self.placement.node_of(g) != first_node);
+        if spans {
+            self.spec.net.latency_s
+        } else {
+            self.spec.net.intra_latency_s
+        }
+    }
+
+    /// `MPI_Barrier`: blocks until every member arrives; all leave at
+    /// `max(arrival) + α·⌈log₂ P⌉`.
+    pub fn barrier(&mut self, comm: &Comm) {
+        let p = comm.size();
+        if p == 1 {
+            self.next_seq(comm.id());
+            return;
+        }
+        let cost =
+            self.coll_alpha(comm) * (p as f64).log2().ceil() + self.spec.net.per_message_overhead_s;
+        let seq = self.next_seq(comm.id());
+        let release = self.registry.barrier(comm.id(), seq, p, self.clock, cost);
+        self.busy_until(release, ActivityKind::Comm);
+    }
+
+    /// `MPI_Comm_split`: partition `comm` by `color`, ordering each new
+    /// communicator by `(key, global rank)`.
+    pub fn split(&mut self, comm: &Comm, color: u64, key: u64) -> Comm {
+        let p = comm.size();
+        let cost = self.coll_alpha(comm) * (p as f64).log2().ceil().max(1.0)
+            + self.spec.net.per_message_overhead_s;
+        let seq = self.next_seq(comm.id());
+        let out = self
+            .registry
+            .split(comm.id(), seq, p, self.rank, color, key, self.clock, cost);
+        self.busy_until(out.release_t, ActivityKind::Comm);
+        Comm::new(out.comm_id, out.members, out.my_index)
+    }
+
+    /// `MPI_Comm_split_type(MPI_COMm_TYPE_SHARED)`: one communicator per
+    /// node, members ordered by global rank — so the "highest rank on the
+    /// node" designation used by the monitoring framework is well defined.
+    pub fn split_shared(&mut self, comm: &Comm) -> Comm {
+        self.split(comm, self.core.node as u64, self.rank as u64)
+    }
+}

@@ -1,0 +1,74 @@
+//! Message payloads and in-flight envelopes.
+
+/// Typed message payload. The solvers exchange `f64` matrix data and `u64`
+/// index/pivot metadata; raw bytes cover everything else.
+#[derive(Clone, Debug)]
+pub enum Payload {
+    F64(Vec<f64>),
+    U64(Vec<u64>),
+    Bytes(Vec<u8>),
+}
+
+impl Payload {
+    /// Payload size in bytes (what the network transfers).
+    pub fn size_bytes(&self) -> u64 {
+        match self {
+            Payload::F64(v) => 8 * v.len() as u64,
+            Payload::U64(v) => 8 * v.len() as u64,
+            Payload::Bytes(v) => v.len() as u64,
+        }
+    }
+
+    pub fn expect_f64(self) -> Vec<f64> {
+        match self {
+            Payload::F64(v) => v,
+            other => panic!("expected F64 payload, got {other:?}"),
+        }
+    }
+
+    pub fn expect_u64(self) -> Vec<u64> {
+        match self {
+            Payload::U64(v) => v,
+            other => panic!("expected U64 payload, got {other:?}"),
+        }
+    }
+
+    pub fn expect_bytes(self) -> Vec<u8> {
+        match self {
+            Payload::Bytes(v) => v,
+            other => panic!("expected Bytes payload, got {other:?}"),
+        }
+    }
+}
+
+/// A message travelling between ranks.
+#[derive(Debug)]
+pub struct Envelope {
+    /// Global rank of the sender.
+    pub src: usize,
+    /// Communicator the message was sent on.
+    pub comm_id: u64,
+    /// User or collective tag.
+    pub tag: u64,
+    /// Virtual time at which the message is fully available at the receiver.
+    pub arrival: f64,
+    pub payload: Payload,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Payload::F64(vec![0.0; 3]).size_bytes(), 24);
+        assert_eq!(Payload::U64(vec![0; 2]).size_bytes(), 16);
+        assert_eq!(Payload::Bytes(vec![0; 5]).size_bytes(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected F64")]
+    fn type_confusion_panics() {
+        Payload::Bytes(vec![]).expect_f64();
+    }
+}

@@ -1,0 +1,27 @@
+//! Machine construction and run-time errors.
+
+use std::fmt;
+
+/// Why a [`crate::Machine`] could not be constructed or run.
+#[derive(Debug, PartialEq, Eq)]
+pub enum MachineError {
+    /// The placement uses more nodes than the cluster provides.
+    PlacementTooLarge { needed: usize, available: usize },
+    /// The placement was built for a different node shape than the cluster.
+    NodeShapeMismatch,
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::PlacementTooLarge { needed, available } => {
+                write!(f, "placement needs {needed} nodes, cluster has {available}")
+            }
+            MachineError::NodeShapeMismatch => {
+                write!(f, "placement node shape differs from cluster node shape")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}

@@ -1,0 +1,39 @@
+//! # greenla-mpi
+//!
+//! A simulated MPI runtime with **virtual time**. Each MPI rank is an OS
+//! thread pinned (logically) to one core of the simulated cluster; every
+//! rank carries its own virtual clock which advances when the rank computes
+//! (`compute`), sends or receives messages, or synchronises in collectives.
+//! Message timing follows a LogGP-style α + β·size model with distinct
+//! intra-node and inter-node parameters; collectives are implemented as
+//! binomial trees over point-to-point messages, so their cost emerges from
+//! the same model. Clock causality is conservative: a receive completes no
+//! earlier than the message's arrival time, and barriers align every
+//! participant to the latest arrival — the same guarantees real MPI gives,
+//! minus wall-clock nondeterminism.
+//!
+//! While ranks run, the engine records every busy interval into the
+//! [`greenla_cluster::Ledger`], which the simulated RAPL layer integrates
+//! into energy counters. Message counts and volumes are tallied in
+//! [`traffic::Traffic`] so the paper's closed-form communication formulas
+//! can be checked against actual runs.
+//!
+//! The API mirrors the MPI subset the paper's framework uses:
+//! `MPI_Comm_split_type(MPI_COMM_TYPE_SHARED)` → [`RankCtx::split_shared`],
+//! `MPI_Barrier` → [`RankCtx::barrier`], plus broadcast/reduce/gather and
+//! matched-pair send/recv.
+
+pub mod coll;
+pub mod comm;
+pub mod context;
+pub mod envelope;
+pub mod error;
+pub mod machine;
+pub mod registry;
+pub mod traffic;
+
+pub use comm::Comm;
+pub use context::RankCtx;
+pub use error::MachineError;
+pub use machine::{Machine, RunOutput};
+pub use traffic::{Traffic, TrafficSnapshot};

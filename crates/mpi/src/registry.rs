@@ -1,0 +1,304 @@
+//! Rendezvous machinery for synchronising collectives.
+//!
+//! Barriers and communicator splits need *exact* max-of-clocks semantics
+//! (every participant leaves at the same virtual instant), which a
+//! tree-of-messages implementation only approximates. The registry gives
+//! each collective call site a rendezvous cell keyed by
+//! `(communicator id, per-communicator sequence number)`; the last arrival
+//! computes the outcome and wakes the rest. Sequence numbers stay consistent
+//! because MPI programs must issue collectives in the same order on every
+//! member — the same invariant real MPI relies on.
+//!
+//! The registry is also the abort channel: when any rank panics, the machine
+//! poisons it so blocked peers fail fast instead of deadlocking.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Outcome of a communicator split for one rank.
+#[derive(Clone, Debug)]
+pub struct SplitOutcome {
+    pub comm_id: u64,
+    pub members: Arc<Vec<usize>>,
+    pub my_index: usize,
+    /// Virtual time at which the collective completes.
+    pub release_t: f64,
+}
+
+struct BarrierState {
+    expected: usize,
+    arrived: usize,
+    max_t: f64,
+    cost: f64,
+    release_t: Option<f64>,
+    left: usize,
+}
+
+struct SplitState {
+    expected: usize,
+    /// (global rank, color, key, arrival time)
+    entries: Vec<(usize, u64, u64, f64)>,
+    cost: f64,
+    outcome: Option<HashMap<usize, SplitOutcome>>,
+    left: usize,
+}
+
+/// Shared rendezvous state for one machine run.
+pub struct Registry {
+    next_comm_id: AtomicU64,
+    poisoned: AtomicBool,
+    barriers: Mutex<HashMap<(u64, u64), BarrierState>>,
+    barrier_cv: Condvar,
+    splits: Mutex<HashMap<(u64, u64), SplitState>>,
+    split_cv: Condvar,
+}
+
+const POLL: Duration = Duration::from_millis(25);
+
+impl Registry {
+    pub fn new() -> Self {
+        Self {
+            next_comm_id: AtomicU64::new(1), // 0 is the world
+            poisoned: AtomicBool::new(false),
+            barriers: Mutex::new(HashMap::new()),
+            barrier_cv: Condvar::new(),
+            splits: Mutex::new(HashMap::new()),
+            split_cv: Condvar::new(),
+        }
+    }
+
+    /// Mark the run as failed; every blocked rank will panic out.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::SeqCst);
+        self.barrier_cv.notify_all();
+        self.split_cv.notify_all();
+    }
+
+    /// Has the run been poisoned by a peer's failure?
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
+
+    fn check_poison(&self) {
+        if self.is_poisoned() {
+            panic!("simulated MPI run aborted: a peer rank failed");
+        }
+    }
+
+    /// Enter a barrier on `(comm_id, seq)` with `expected` participants at
+    /// virtual time `t`; returns the common release time `max(t_i) + cost`.
+    pub fn barrier(&self, comm_id: u64, seq: u64, expected: usize, t: f64, cost: f64) -> f64 {
+        let key = (comm_id, seq);
+        let mut map = self.barriers.lock();
+        let st = map.entry(key).or_insert(BarrierState {
+            expected,
+            arrived: 0,
+            max_t: f64::NEG_INFINITY,
+            cost,
+            release_t: None,
+            left: 0,
+        });
+        assert_eq!(
+            st.expected, expected,
+            "barrier participant mismatch on {key:?}"
+        );
+        st.arrived += 1;
+        st.max_t = st.max_t.max(t);
+        st.cost = st.cost.max(cost);
+        if st.arrived == st.expected {
+            st.release_t = Some(st.max_t + st.cost);
+            self.barrier_cv.notify_all();
+        }
+        loop {
+            let st = map.get_mut(&key).expect("barrier state vanished");
+            if let Some(rt) = st.release_t {
+                st.left += 1;
+                if st.left == st.expected {
+                    map.remove(&key);
+                }
+                return rt;
+            }
+            self.check_poison();
+            self.barrier_cv.wait_for(&mut map, POLL);
+        }
+    }
+
+    /// Enter a split of `parent` (call-site `seq`) with this rank's
+    /// `(color, key)`; blocks until all `expected` members arrive and
+    /// returns this rank's new communicator.
+    #[allow(clippy::too_many_arguments)]
+    pub fn split(
+        &self,
+        parent_id: u64,
+        seq: u64,
+        expected: usize,
+        grank: usize,
+        color: u64,
+        key: u64,
+        t: f64,
+        cost: f64,
+    ) -> SplitOutcome {
+        let map_key = (parent_id, seq);
+        let mut map = self.splits.lock();
+        let st = map.entry(map_key).or_insert(SplitState {
+            expected,
+            entries: Vec::new(),
+            cost,
+            outcome: None,
+            left: 0,
+        });
+        assert_eq!(
+            st.expected, expected,
+            "split participant mismatch on {map_key:?}"
+        );
+        st.entries.push((grank, color, key, t));
+        st.cost = st.cost.max(cost);
+        if st.entries.len() == st.expected {
+            let release_t = st
+                .entries
+                .iter()
+                .map(|e| e.3)
+                .fold(f64::NEG_INFINITY, f64::max)
+                + st.cost;
+            // Group by color, order by (key, global rank).
+            let mut by_color: HashMap<u64, Vec<(u64, usize)>> = HashMap::new();
+            for &(g, c, k, _) in &st.entries {
+                by_color.entry(c).or_default().push((k, g));
+            }
+            let mut outcome = HashMap::with_capacity(st.expected);
+            // Deterministic comm-id assignment: colors in ascending order.
+            let mut colors: Vec<u64> = by_color.keys().copied().collect();
+            colors.sort_unstable();
+            for color in colors {
+                let mut group = by_color.remove(&color).unwrap();
+                group.sort_unstable();
+                let members: Arc<Vec<usize>> = Arc::new(group.iter().map(|&(_, g)| g).collect());
+                let comm_id = self.next_comm_id.fetch_add(1, Ordering::Relaxed);
+                for (idx, &(_, g)) in group.iter().enumerate() {
+                    outcome.insert(
+                        g,
+                        SplitOutcome {
+                            comm_id,
+                            members: Arc::clone(&members),
+                            my_index: idx,
+                            release_t,
+                        },
+                    );
+                }
+            }
+            st.outcome = Some(outcome);
+            self.split_cv.notify_all();
+        }
+        loop {
+            let st = map.get_mut(&map_key).expect("split state vanished");
+            if let Some(out) = &st.outcome {
+                let mine = out
+                    .get(&grank)
+                    .expect("rank missing from split outcome")
+                    .clone();
+                st.left += 1;
+                if st.left == st.expected {
+                    map.remove(&map_key);
+                }
+                return mine;
+            }
+            self.check_poison();
+            self.split_cv.wait_for(&mut map, POLL);
+        }
+    }
+
+    /// Allocate a fresh communicator id (used by dup-style operations).
+    pub fn fresh_comm_id(&self) -> u64 {
+        self.next_comm_id.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn barrier_releases_at_max_plus_cost() {
+        let reg = Arc::new(Registry::new());
+        let times = [1.0, 5.0, 3.0];
+        let handles: Vec<_> = times
+            .iter()
+            .map(|&t| {
+                let reg = Arc::clone(&reg);
+                thread::spawn(move || reg.barrier(0, 0, 3, t, 0.5))
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 5.5);
+        }
+    }
+
+    #[test]
+    fn barrier_state_cleaned_up_for_reuse() {
+        let reg = Arc::new(Registry::new());
+        for seq in 0..3 {
+            let handles: Vec<_> = (0..2)
+                .map(|i| {
+                    let reg = Arc::clone(&reg);
+                    thread::spawn(move || reg.barrier(7, seq, 2, i as f64, 0.0))
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), 1.0);
+            }
+        }
+        assert!(reg.barriers.lock().is_empty());
+    }
+
+    #[test]
+    fn split_groups_by_color_and_orders_by_key() {
+        let reg = Arc::new(Registry::new());
+        // 4 ranks: colors 0,0,1,1; keys reversed within color 0.
+        let plan = [(0usize, 0u64, 9u64), (1, 0, 1), (2, 1, 0), (3, 1, 5)];
+        let handles: Vec<_> = plan
+            .iter()
+            .map(|&(g, c, k)| {
+                let reg = Arc::clone(&reg);
+                thread::spawn(move || (g, reg.split(0, 0, 4, g, c, k, 0.0, 0.1)))
+            })
+            .collect();
+        let mut results: Vec<(usize, SplitOutcome)> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        results.sort_by_key(|r| r.0);
+        // color 0: keys 9 (rank0), 1 (rank1) → order [1, 0]
+        assert_eq!(*results[0].1.members, vec![1, 0]);
+        assert_eq!(results[0].1.my_index, 1);
+        assert_eq!(results[1].1.my_index, 0);
+        // color 1: order [2, 3]
+        assert_eq!(*results[2].1.members, vec![2, 3]);
+        // distinct communicators, shared release time.
+        assert_ne!(results[0].1.comm_id, results[2].1.comm_id);
+        assert_eq!(results[0].1.release_t, results[2].1.release_t);
+        assert_eq!(results[0].1.release_t, 0.1);
+    }
+
+    #[test]
+    fn poison_unblocks_waiters() {
+        let reg = Arc::new(Registry::new());
+        let r2 = Arc::clone(&reg);
+        let h = thread::spawn(move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                r2.barrier(0, 0, 2, 0.0, 0.0)
+            }));
+            result.is_err()
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        reg.poison();
+        assert!(h.join().unwrap(), "waiter should have panicked out");
+    }
+}

@@ -1,0 +1,111 @@
+//! Message-count and volume accounting.
+//!
+//! The paper characterises IMeP by its total number of messages `M` and
+//! volume `V` (in floating-point elements); these counters let tests compare
+//! a real simulated run against those closed forms. Counters are updated by
+//! every point-to-point send — collectives are trees of sends, so a
+//! broadcast over `P` ranks counts `P − 1` messages, matching the paper's
+//! accounting.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cluster-wide traffic counters (lock-free; relaxed ordering is fine for
+/// statistics that are only read after the run joins).
+#[derive(Default)]
+pub struct Traffic {
+    msgs: AtomicU64,
+    bytes: AtomicU64,
+    intra_node_msgs: AtomicU64,
+    intra_node_bytes: AtomicU64,
+}
+
+/// A point-in-time copy of the counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrafficSnapshot {
+    /// Total point-to-point messages.
+    pub msgs: u64,
+    /// Total payload bytes.
+    pub bytes: u64,
+    /// Messages that stayed within a node.
+    pub intra_node_msgs: u64,
+    /// Bytes that stayed within a node.
+    pub intra_node_bytes: u64,
+}
+
+impl TrafficSnapshot {
+    /// Volume in f64 elements, the unit the paper uses.
+    pub fn volume_elems(&self) -> u64 {
+        self.bytes / 8
+    }
+
+    /// Counters accumulated since an earlier snapshot.
+    pub fn since(&self, earlier: &TrafficSnapshot) -> TrafficSnapshot {
+        TrafficSnapshot {
+            msgs: self.msgs - earlier.msgs,
+            bytes: self.bytes - earlier.bytes,
+            intra_node_msgs: self.intra_node_msgs - earlier.intra_node_msgs,
+            intra_node_bytes: self.intra_node_bytes - earlier.intra_node_bytes,
+        }
+    }
+}
+
+impl Traffic {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one message of `bytes` payload bytes.
+    pub fn record(&self, bytes: u64, intra_node: bool) {
+        self.msgs.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+        if intra_node {
+            self.intra_node_msgs.fetch_add(1, Ordering::Relaxed);
+            self.intra_node_bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Copy the current counter values.
+    pub fn snapshot(&self) -> TrafficSnapshot {
+        TrafficSnapshot {
+            msgs: self.msgs.load(Ordering::Relaxed),
+            bytes: self.bytes.load(Ordering::Relaxed),
+            intra_node_msgs: self.intra_node_msgs.load(Ordering::Relaxed),
+            intra_node_bytes: self.intra_node_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_splits_by_locality() {
+        let t = Traffic::new();
+        t.record(100, true);
+        t.record(50, false);
+        let s = t.snapshot();
+        assert_eq!(s.msgs, 2);
+        assert_eq!(s.bytes, 150);
+        assert_eq!(s.intra_node_msgs, 1);
+        assert_eq!(s.intra_node_bytes, 100);
+    }
+
+    #[test]
+    fn volume_in_elements() {
+        let t = Traffic::new();
+        t.record(80, false);
+        assert_eq!(t.snapshot().volume_elems(), 10);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let t = Traffic::new();
+        t.record(8, false);
+        let early = t.snapshot();
+        t.record(16, true);
+        let diff = t.snapshot().since(&early);
+        assert_eq!(diff.msgs, 1);
+        assert_eq!(diff.bytes, 16);
+    }
+}

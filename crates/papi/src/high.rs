@@ -1,0 +1,104 @@
+//! The PAPI High Level-API: "only a fraction of functions compared to the
+//! PAPI Low Level-API … but enough to extract performance data using
+//! pre-set events" (paper §2.3). One call starts a pre-set event list; one
+//! call stops it and returns labelled values.
+
+use crate::error::PapiError;
+use crate::low::{EventSetId, Papi};
+use crate::powercap;
+use crate::reader::EnergyReader;
+
+/// A running high-level measurement.
+pub struct HighLevel {
+    set: EventSetId,
+    names: Vec<String>,
+}
+
+impl HighLevel {
+    /// Start counting the paper's standard energy events (packages + DRAM
+    /// for every socket) at virtual time `t`.
+    pub fn start_energy<R: EnergyReader>(papi: &mut Papi<R>, t: f64) -> Result<Self, PapiError> {
+        let names = powercap::paper_event_names(papi.reader().sockets());
+        Self::start_named(papi, &names, t)
+    }
+
+    /// Start counting an explicit list of named events.
+    pub fn start_named<R: EnergyReader>(
+        papi: &mut Papi<R>,
+        names: &[String],
+        t: f64,
+    ) -> Result<Self, PapiError> {
+        let set = papi.create_eventset()?;
+        for n in names {
+            papi.add_named_event(set, n)?;
+        }
+        papi.start(set, t)?;
+        Ok(Self {
+            set,
+            names: names.to_vec(),
+        })
+    }
+
+    /// Read without stopping: `(name, value)` pairs.
+    pub fn read<R: EnergyReader>(
+        &self,
+        papi: &Papi<R>,
+        t: f64,
+    ) -> Result<Vec<(String, i64)>, PapiError> {
+        let vals = papi.read(self.set, t)?;
+        Ok(self.names.iter().cloned().zip(vals).collect())
+    }
+
+    /// Stop and tear down, returning final `(name, value)` pairs.
+    pub fn stop<R: EnergyReader>(
+        self,
+        papi: &mut Papi<R>,
+        t: f64,
+    ) -> Result<Vec<(String, i64)>, PapiError> {
+        let vals = papi.stop(self.set, t)?;
+        papi.cleanup_eventset(self.set)?;
+        papi.destroy_eventset(self.set)?;
+        Ok(self.names.into_iter().zip(vals).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::low::test_support::MockReader;
+    use crate::low::PAPI_VER_CURRENT;
+
+    #[test]
+    fn high_level_energy_roundtrip() {
+        let mut p = Papi::library_init(
+            PAPI_VER_CURRENT,
+            MockReader {
+                sockets: 2,
+                supports: true,
+            },
+        )
+        .unwrap();
+        let hl = HighLevel::start_energy(&mut p, 0.0).unwrap();
+        let mid = hl.read(&p, 1.0).unwrap();
+        assert_eq!(mid.len(), 4);
+        assert_eq!(mid[0].0, "powercap:::ENERGY_UJ:ZONE0");
+        assert_eq!(mid[0].1, 100_000_000);
+        let fin = hl.stop(&mut p, 2.0).unwrap();
+        assert_eq!(fin[1].1, 400_000_000); // package-1 at 200 W for 2 s
+        assert_eq!(fin[3].1, 20_000_000); // dram-1 at 10 W for 2 s
+    }
+
+    #[test]
+    fn bad_name_fails_cleanly() {
+        let mut p = Papi::library_init(
+            PAPI_VER_CURRENT,
+            MockReader {
+                sockets: 2,
+                supports: true,
+            },
+        )
+        .unwrap();
+        let r = HighLevel::start_named(&mut p, &["bogus:::X:Y".to_string()], 0.0);
+        assert!(matches!(r, Err(PapiError::NoSuchEvent)));
+    }
+}

@@ -1,0 +1,57 @@
+//! The Machine Specific Layer boundary: how the portable PAPI layer reaches
+//! actual counters.
+
+use greenla_rapl::{Domain, MsrError, RaplSim};
+use std::sync::Arc;
+
+/// Counter access for one node — what PAPI's machine-specific layer does.
+/// Implemented for the simulated RAPL device; a mock implementation lives in
+/// the tests.
+pub trait EnergyReader {
+    /// Sockets on the node.
+    fn sockets(&self) -> usize;
+
+    /// Does the platform expose RAPL-style energy counters at all?
+    fn supports_energy(&self) -> bool;
+
+    /// Cumulative energy of `(socket, domain)` in µJ at virtual time `t`.
+    fn energy_uj(&self, socket: usize, domain: Domain, t: f64) -> Result<u64, MsrError>;
+
+    /// Wrap range of the counter in µJ.
+    fn max_energy_range_uj(&self, domain: Domain) -> u64;
+}
+
+/// An [`EnergyReader`] bound to one node of a simulated cluster.
+#[derive(Clone)]
+pub struct NodeRapl {
+    sim: Arc<RaplSim>,
+    node: usize,
+}
+
+impl NodeRapl {
+    pub fn new(sim: Arc<RaplSim>, node: usize) -> Self {
+        Self { sim, node }
+    }
+
+    pub fn node(&self) -> usize {
+        self.node
+    }
+}
+
+impl EnergyReader for NodeRapl {
+    fn sockets(&self) -> usize {
+        self.sim.sockets_per_node()
+    }
+
+    fn supports_energy(&self) -> bool {
+        self.sim.cpu().supports_rapl()
+    }
+
+    fn energy_uj(&self, socket: usize, domain: Domain, t: f64) -> Result<u64, MsrError> {
+        self.sim.energy_uj(self.node, socket, domain, t)
+    }
+
+    fn max_energy_range_uj(&self, domain: Domain) -> u64 {
+        self.sim.max_energy_range_uj(domain)
+    }
+}

@@ -1,0 +1,90 @@
+//! Energy-status counter behaviour: unit conversion, 32-bit wrap-around and
+//! ~1 ms update quantisation.
+
+/// Counters are updated "approximately once a millisecond (due to jitter)"
+/// (paper §2.3). We quantise reads onto a 1 ms grid shifted by a per-domain
+/// phase, so immediate re-reads can observe an unchanged value.
+pub const UPDATE_PERIOD_S: f64 = 1.0e-3;
+
+/// Quantise a read at time `t` to the last counter-update instant, given the
+/// domain's phase offset in `[0, UPDATE_PERIOD_S)`.
+pub fn quantize_read_time(t: f64, phase: f64) -> f64 {
+    debug_assert!((0.0..UPDATE_PERIOD_S).contains(&phase));
+    if t <= phase {
+        return 0.0;
+    }
+    let ticks = ((t - phase) / UPDATE_PERIOD_S).floor();
+    (ticks * UPDATE_PERIOD_S + phase).max(0.0)
+}
+
+/// Convert cumulative joules into a wrapped 32-bit count in the given energy
+/// unit.
+pub fn joules_to_count(joules: f64, unit_j: f64) -> u64 {
+    debug_assert!(joules >= 0.0 && unit_j > 0.0);
+    let counts = (joules / unit_j) as u128;
+    (counts % (1u128 << 32)) as u64
+}
+
+/// Reconstruct the energy delta between two wrapped counter reads
+/// (`later` read after `earlier`, assuming at most one wrap between them) —
+/// the correction every RAPL consumer must apply.
+pub fn delta_joules(earlier: u64, later: u64, unit_j: f64) -> f64 {
+    let diff = if later >= earlier {
+        later - earlier
+    } else {
+        later + (1u64 << 32) - earlier
+    };
+    diff as f64 * unit_j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantisation_steps() {
+        let phase = 0.0002;
+        // Just before the first update instant → 0.
+        assert_eq!(quantize_read_time(0.0001, phase), 0.0);
+        // Right after an update.
+        let q = quantize_read_time(0.00121, phase);
+        assert!((q - 0.0012).abs() < 1e-12);
+        // Two reads within one period see the same instant.
+        let a = quantize_read_time(0.00540, 0.0);
+        let b = quantize_read_time(0.00599, 0.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wrap_around() {
+        let unit = 6.103515625e-5; // 2^-14 J
+        let range = unit * 4.294967296e9; // 2^32 counts ≈ 262144 J
+        let just_under = range - unit;
+        let just_over = range + unit;
+        let c_under = joules_to_count(just_under, unit);
+        let c_over = joules_to_count(just_over, unit);
+        assert_eq!(c_under, (1u64 << 32) - 1);
+        assert_eq!(c_over, 1);
+    }
+
+    #[test]
+    fn delta_handles_single_wrap() {
+        let unit = 2.0f64.powi(-14);
+        let e1 = 262_100.0; // J, near wrap (range ≈ 262144 J)
+        let e2 = 262_200.0; // J, past wrap
+        let c1 = joules_to_count(e1, unit);
+        let c2 = joules_to_count(e2, unit);
+        assert!(c2 < c1, "expected wrapped counter");
+        let d = delta_joules(c1, c2, unit);
+        assert!((d - 100.0).abs() < 0.01, "delta {d}");
+    }
+
+    #[test]
+    fn monotone_without_wrap() {
+        let unit = 2.0f64.powi(-14);
+        let c1 = joules_to_count(10.0, unit);
+        let c2 = joules_to_count(20.0, unit);
+        assert!(c2 > c1);
+        assert!((delta_joules(c1, c2, unit) - 10.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,74 @@
+//! CPU model detection.
+//!
+//! "Reading RAPL domain values directly from MSRs requires detecting the CPU
+//! model and reading the RAPL energy units before reading the RAPL domain
+//! consumption values" (paper §2.3). This module is that detection step,
+//! driven by the simulated cluster's [`greenla_cluster::CpuSpec`].
+
+use greenla_cluster::spec::CpuSpec;
+
+/// CPUID (display family, display model) pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CpuModel {
+    pub family: u32,
+    pub model: u32,
+}
+
+impl CpuModel {
+    /// Skylake-SP / Xeon Scalable gen 1 (the Marconi A3 CPU).
+    pub fn skylake_sp() -> Self {
+        Self {
+            family: 6,
+            model: 0x55,
+        }
+    }
+
+    /// Detect from a simulated CPU spec.
+    pub fn detect(spec: &CpuSpec) -> Self {
+        Self {
+            family: spec.family,
+            model: spec.model,
+        }
+    }
+
+    /// Does this model expose RAPL at all?
+    pub fn supports_rapl(&self) -> bool {
+        // RAPL exists from Sandy Bridge (family 6, model 0x2a) onward.
+        self.family == 6 && self.model >= 0x2a
+    }
+
+    /// Server models whose DRAM domain uses the fixed 2⁻¹⁶ J unit
+    /// (Haswell-EP, Broadwell-EP, Skylake-SP, Cascade Lake, …).
+    pub fn has_fixed_dram_unit(&self) -> bool {
+        matches!(self.model, 0x3f | 0x4f | 0x55 | 0x56 | 0x6a | 0x6c) && self.family == 6
+    }
+
+    /// Server models have no PP1 (graphics) RAPL domain.
+    pub fn has_pp1(&self) -> bool {
+        // Client parts only; every spec we simulate is a server part.
+        !self.has_fixed_dram_unit() && self.model != 0x55
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_from_marconi_spec() {
+        let m = CpuModel::detect(&CpuSpec::xeon_8160());
+        assert_eq!(m, CpuModel::skylake_sp());
+        assert!(m.supports_rapl());
+        assert!(m.has_fixed_dram_unit());
+        assert!(!m.has_pp1());
+    }
+
+    #[test]
+    fn ancient_cpu_has_no_rapl() {
+        let nehalem = CpuModel {
+            family: 6,
+            model: 0x1a,
+        };
+        assert!(!nehalem.supports_rapl());
+    }
+}

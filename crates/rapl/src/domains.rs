@@ -1,0 +1,71 @@
+//! RAPL power domains.
+
+use crate::msr::{
+    MSR_DRAM_ENERGY_STATUS, MSR_PKG_ENERGY_STATUS, MSR_PP0_ENERGY_STATUS, MSR_PP1_ENERGY_STATUS,
+};
+
+/// One measurable RAPL domain on a socket.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// Whole package (cores + uncore).
+    Package,
+    /// Core domain (power plane 0).
+    Pp0,
+    /// Graphics domain (power plane 1) — absent on server CPUs.
+    Pp1,
+    /// Memory domain.
+    Dram,
+}
+
+impl Domain {
+    /// The energy-status MSR backing this domain.
+    pub fn msr(&self) -> u32 {
+        match self {
+            Domain::Package => MSR_PKG_ENERGY_STATUS,
+            Domain::Pp0 => MSR_PP0_ENERGY_STATUS,
+            Domain::Pp1 => MSR_PP1_ENERGY_STATUS,
+            Domain::Dram => MSR_DRAM_ENERGY_STATUS,
+        }
+    }
+
+    /// Domain measured by a given energy-status MSR address.
+    pub fn from_msr(addr: u32) -> Option<Domain> {
+        match addr {
+            MSR_PKG_ENERGY_STATUS => Some(Domain::Package),
+            MSR_PP0_ENERGY_STATUS => Some(Domain::Pp0),
+            MSR_PP1_ENERGY_STATUS => Some(Domain::Pp1),
+            MSR_DRAM_ENERGY_STATUS => Some(Domain::Dram),
+            _ => None,
+        }
+    }
+
+    /// Linux powercap-style zone name for socket `s` (what PAPI's powercap
+    /// component shows as event names).
+    pub fn zone_name(&self, socket: usize) -> String {
+        match self {
+            Domain::Package => format!("package-{socket}"),
+            Domain::Pp0 => format!("package-{socket}/core"),
+            Domain::Pp1 => format!("package-{socket}/uncore"),
+            Domain::Dram => format!("package-{socket}/dram"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msr_roundtrip() {
+        for d in [Domain::Package, Domain::Pp0, Domain::Pp1, Domain::Dram] {
+            assert_eq!(Domain::from_msr(d.msr()), Some(d));
+        }
+        assert_eq!(Domain::from_msr(0x123), None);
+    }
+
+    #[test]
+    fn zone_names() {
+        assert_eq!(Domain::Package.zone_name(1), "package-1");
+        assert_eq!(Domain::Dram.zone_name(0), "package-0/dram");
+    }
+}

@@ -1,0 +1,105 @@
+//! MSR addresses and access control.
+//!
+//! Mirrors the Linux `msr` driver surface the paper describes: "the MSR
+//! driver must be enabled, and the read access permission must be set".
+
+/// `MSR_RAPL_POWER_UNIT`: unit definitions for all RAPL domains.
+pub const MSR_RAPL_POWER_UNIT: u32 = 0x606;
+/// `MSR_PKG_POWER_LIMIT`: package power-cap control (future work in the
+/// paper; readable here, writes accepted but only stored).
+pub const MSR_PKG_POWER_LIMIT: u32 = 0x610;
+/// `MSR_PKG_ENERGY_STATUS`: cumulative package energy, 32-bit wrapping.
+pub const MSR_PKG_ENERGY_STATUS: u32 = 0x611;
+/// `MSR_DRAM_ENERGY_STATUS`: cumulative DRAM energy, 32-bit wrapping.
+pub const MSR_DRAM_ENERGY_STATUS: u32 = 0x619;
+/// `MSR_PP0_ENERGY_STATUS`: cumulative core-domain energy.
+pub const MSR_PP0_ENERGY_STATUS: u32 = 0x639;
+/// `MSR_PP1_ENERGY_STATUS`: graphics domain — absent on server parts.
+pub const MSR_PP1_ENERGY_STATUS: u32 = 0x641;
+
+/// Failures of the simulated `/dev/cpu/*/msr` interface.
+#[derive(Debug, PartialEq, Eq)]
+pub enum MsrError {
+    /// The msr kernel driver is not loaded.
+    DriverNotLoaded,
+    /// No read permission on the msr device node.
+    PermissionDenied,
+    /// The register does not exist on this CPU model (e.g. PP1 on
+    /// Skylake-SP).
+    UnsupportedRegister(u32),
+    /// Socket index out of range for the node.
+    NoSuchSocket(usize),
+    /// Node index out of range for the job.
+    NoSuchNode(usize),
+}
+
+impl std::fmt::Display for MsrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MsrError::DriverNotLoaded => write!(f, "msr driver not loaded"),
+            MsrError::PermissionDenied => write!(f, "permission denied reading msr device"),
+            MsrError::UnsupportedRegister(a) => write!(f, "unsupported MSR {a:#x}"),
+            MsrError::NoSuchSocket(s) => write!(f, "no such socket {s}"),
+            MsrError::NoSuchNode(n) => write!(f, "no such node {n}"),
+        }
+    }
+}
+
+impl std::error::Error for MsrError {}
+
+/// Access-control state of the msr device on a node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MsrAccess {
+    /// Is the kernel msr module loaded?
+    pub driver_loaded: bool,
+    /// Does the caller have read permission on `/dev/cpu/*/msr`?
+    pub read_permitted: bool,
+}
+
+impl MsrAccess {
+    /// Driver loaded with read access (the configuration the paper sets up
+    /// on Marconi).
+    pub fn permitted() -> Self {
+        Self {
+            driver_loaded: true,
+            read_permitted: true,
+        }
+    }
+
+    /// Check access, mapping the failure mode.
+    pub fn check(&self) -> Result<(), MsrError> {
+        if !self.driver_loaded {
+            return Err(MsrError::DriverNotLoaded);
+        }
+        if !self.read_permitted {
+            return Err(MsrError::PermissionDenied);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_failure_modes() {
+        assert_eq!(
+            MsrAccess {
+                driver_loaded: false,
+                read_permitted: true
+            }
+            .check(),
+            Err(MsrError::DriverNotLoaded)
+        );
+        assert_eq!(
+            MsrAccess {
+                driver_loaded: true,
+                read_permitted: false
+            }
+            .check(),
+            Err(MsrError::PermissionDenied)
+        );
+        assert_eq!(MsrAccess::permitted().check(), Ok(()));
+    }
+}

@@ -1,0 +1,171 @@
+//! Block-cyclic array descriptors (the `DESC` of ScaLAPACK) and the index
+//! arithmetic (`numroc`, global↔local maps) everything else builds on.
+
+/// Descriptor of a block-cyclically distributed `m × n` matrix with block
+/// size `mb × nb` on a `nprow × npcol` grid, with the first block owned by
+/// grid position (0, 0).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockDesc {
+    pub m: usize,
+    pub n: usize,
+    pub mb: usize,
+    pub nb: usize,
+    pub nprow: usize,
+    pub npcol: usize,
+}
+
+/// `NUMROC`: number of rows/columns of a dimension of size `n`, blocked by
+/// `nb`, owned by process `iproc` out of `nprocs`.
+pub fn numroc(n: usize, nb: usize, iproc: usize, nprocs: usize) -> usize {
+    assert!(nb > 0 && nprocs > 0 && iproc < nprocs);
+    let nblocks = n / nb;
+    let mut count = (nblocks / nprocs) * nb;
+    let extra = nblocks % nprocs;
+    if iproc < extra {
+        count += nb;
+    } else if iproc == extra {
+        count += n % nb;
+    }
+    count
+}
+
+/// Number of global indices `< g` owned by `iproc` — i.e. the local index
+/// at which the range `g..` starts on that process. (Identical to `numroc`
+/// applied to a dimension of size `g`.)
+pub fn numroc_below(g: usize, nb: usize, iproc: usize, nprocs: usize) -> usize {
+    numroc(g, nb, iproc, nprocs)
+}
+
+/// Owning process of global index `g` (one dimension).
+pub fn owner(g: usize, nb: usize, nprocs: usize) -> usize {
+    (g / nb) % nprocs
+}
+
+/// Local index of global index `g` on its owner.
+pub fn g2l(g: usize, nb: usize, nprocs: usize) -> usize {
+    (g / (nb * nprocs)) * nb + g % nb
+}
+
+/// Global index of local index `l` on process `iproc`.
+pub fn l2g(l: usize, nb: usize, iproc: usize, nprocs: usize) -> usize {
+    (l / nb) * nb * nprocs + iproc * nb + l % nb
+}
+
+impl BlockDesc {
+    /// Square matrix with square blocks.
+    pub fn square(n: usize, nb: usize, nprow: usize, npcol: usize) -> Self {
+        Self {
+            m: n,
+            n,
+            mb: nb,
+            nb,
+            nprow,
+            npcol,
+        }
+    }
+
+    /// Local row count for grid row `myrow`.
+    pub fn local_rows(&self, myrow: usize) -> usize {
+        numroc(self.m, self.mb, myrow, self.nprow)
+    }
+
+    /// Local column count for grid column `mycol`.
+    pub fn local_cols(&self, mycol: usize) -> usize {
+        numroc(self.n, self.nb, mycol, self.npcol)
+    }
+
+    /// Grid row owning global row `i`.
+    pub fn row_owner(&self, i: usize) -> usize {
+        owner(i, self.mb, self.nprow)
+    }
+
+    /// Grid column owning global column `j`.
+    pub fn col_owner(&self, j: usize) -> usize {
+        owner(j, self.nb, self.npcol)
+    }
+
+    /// Local row index of global row `i` (valid on its owner).
+    pub fn lrow(&self, i: usize) -> usize {
+        g2l(i, self.mb, self.nprow)
+    }
+
+    /// Local column index of global column `j` (valid on its owner).
+    pub fn lcol(&self, j: usize) -> usize {
+        g2l(j, self.nb, self.npcol)
+    }
+
+    /// Global row of local row `l` on grid row `myrow`.
+    pub fn grow(&self, l: usize, myrow: usize) -> usize {
+        l2g(l, self.mb, myrow, self.nprow)
+    }
+
+    /// Global column of local column `l` on grid column `mycol`.
+    pub fn gcol(&self, l: usize, mycol: usize) -> usize {
+        l2g(l, self.nb, mycol, self.npcol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numroc_partitions_exactly() {
+        for (n, nb, p) in [(10, 2, 3), (100, 7, 4), (5, 8, 2), (64, 4, 8), (33, 5, 6)] {
+            let total: usize = (0..p).map(|i| numroc(n, nb, i, p)).sum();
+            assert_eq!(total, n, "numroc must partition n={n} nb={nb} p={p}");
+        }
+    }
+
+    #[test]
+    fn numroc_matches_reference_values() {
+        // n=10, nb=2, p=3: blocks [0,1][2,3][4,5][6,7][8,9] → procs 0,1,2,0,1.
+        assert_eq!(numroc(10, 2, 0, 3), 4);
+        assert_eq!(numroc(10, 2, 1, 3), 4);
+        assert_eq!(numroc(10, 2, 2, 3), 2);
+    }
+
+    #[test]
+    fn global_local_roundtrip() {
+        let nb = 3;
+        let p = 4;
+        for g in 0..50 {
+            let o = owner(g, nb, p);
+            let l = g2l(g, nb, p);
+            assert_eq!(l2g(l, nb, o, p), g);
+        }
+    }
+
+    #[test]
+    fn local_indices_are_dense_per_owner() {
+        let nb = 3;
+        let p = 4;
+        for proc in 0..p {
+            let mut locals: Vec<usize> = (0..60)
+                .filter(|&g| owner(g, nb, p) == proc)
+                .map(|g| g2l(g, nb, p))
+                .collect();
+            locals.sort_unstable();
+            for (expect, l) in locals.into_iter().enumerate() {
+                assert_eq!(l, expect, "holes in local index space of proc {proc}");
+            }
+        }
+    }
+
+    #[test]
+    fn desc_helpers_consistent() {
+        let d = BlockDesc::square(29, 4, 2, 3);
+        for i in 0..29 {
+            let o = d.row_owner(i);
+            assert_eq!(d.grow(d.lrow(i), o), i);
+        }
+        for j in 0..29 {
+            let o = d.col_owner(j);
+            assert_eq!(d.gcol(d.lcol(j), o), j);
+        }
+        let rows: usize = (0..2).map(|r| d.local_rows(r)).sum();
+        let cols: usize = (0..3).map(|c| d.local_cols(c)).sum();
+        assert_eq!(rows, 29);
+        assert_eq!(cols, 29);
+    }
+}

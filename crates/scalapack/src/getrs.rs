@@ -1,0 +1,66 @@
+//! Sequential triangular solves after `getrf` (`dgetrs`) for one
+//! right-hand side.
+
+use greenla_linalg::blas2::{dtrsv_lower_unit, dtrsv_upper};
+use greenla_linalg::permutation::apply_ipiv_forward;
+use greenla_linalg::Matrix;
+
+/// Solve `A·x = b` given the factorisation produced by
+/// [`crate::getrf::getrf`]; `b` is overwritten with `x`.
+pub fn getrs(lu: &Matrix, ipiv: &[usize], b: &mut [f64]) {
+    let n = lu.rows();
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    assert_eq!(ipiv.len(), n, "ipiv length mismatch");
+    apply_ipiv_forward(ipiv, b);
+    dtrsv_lower_unit(n, lu.as_slice(), lu.ld(), b);
+    dtrsv_upper(n, lu.as_slice(), lu.ld(), b);
+}
+
+/// Convenience: factor and solve in one call (LAPACK `dgesv`).
+pub fn gesv(a: &Matrix, b: &[f64], nb: usize) -> Result<Vec<f64>, crate::error::LuError> {
+    let mut lu = a.clone();
+    let ipiv = crate::getrf::getrf(&mut lu, nb)?;
+    let mut x = b.to_vec();
+    getrs(&lu, &ipiv, &mut x);
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greenla_linalg::generate;
+
+    #[test]
+    fn gesv_end_to_end() {
+        for (n, seed) in [(10, 1), (37, 2), (64, 3)] {
+            let sys = generate::diag_dominant(n, seed);
+            let x = gesv(&sys.a, &sys.b, 16).unwrap();
+            assert!(sys.residual(&x) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gesv_on_poisson_grid() {
+        let sys = generate::poisson2d(7, 0);
+        let x = gesv(&sys.a, &sys.b, 8).unwrap();
+        assert!(sys.residual(&x) < 1e-13);
+    }
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let a = Matrix::identity(5);
+        let b = vec![5.0, -1.0, 0.5, 2.0, 3.0];
+        let x = gesv(&a, &b, 2).unwrap();
+        assert_eq!(x, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "rhs length mismatch")]
+    fn mismatched_rhs_panics() {
+        let a = Matrix::identity(3);
+        let mut lu = a.clone();
+        let ipiv = crate::getrf::getrf(&mut lu, 2).unwrap();
+        let mut b = vec![1.0; 2];
+        getrs(&lu, &ipiv, &mut b);
+    }
+}

@@ -1,0 +1,316 @@
+//! Driver: distribute, factor, solve (`pdgesv`) — the routine the paper
+//! benchmarks as "Gaussian Elimination by ScaLAPACK".
+
+use crate::desc::BlockDesc;
+use crate::distribute::DistMatrix;
+use crate::error::LuError;
+use crate::grid::ProcessGrid;
+use crate::pdgetrf::pdgetrf;
+use crate::pdgetrs::pdgetrs;
+use greenla_linalg::generate::LinearSystem;
+use greenla_mpi::{Comm, RankCtx};
+
+/// Default ScaLAPACK block size.
+pub const DEFAULT_NB: usize = 64;
+
+/// Solve a replicated linear system over all ranks of `comm` using a 2-D
+/// block-cyclic LU with partial pivoting. Returns the solution (replicated
+/// on every rank).
+///
+/// Collective over `comm`; every rank must pass the same system.
+pub fn pdgesv(
+    ctx: &mut RankCtx,
+    comm: &Comm,
+    sys: &LinearSystem,
+    nb: usize,
+) -> Result<Vec<f64>, LuError> {
+    let p = comm.size();
+    let (nprow, npcol) = ProcessGrid::square_shape(p);
+    let grid = ProcessGrid::new(ctx, comm, nprow, npcol);
+    pdgesv_on_grid(ctx, &grid, sys, nb)
+}
+
+/// Result of a refined solve.
+#[derive(Clone, Debug)]
+pub struct RefinedSolve {
+    pub x: Vec<f64>,
+    /// Refinement iterations actually performed.
+    pub iterations: usize,
+    /// ∞-norm of the final residual `b − A·x`.
+    pub residual_inf: f64,
+}
+
+/// `pdgesv` followed by classical iterative refinement: factor once, then
+/// repeat `r = b − A·x; A·d = r; x += d` (reusing the factors) until the
+/// residual stops improving or `max_iters` is hit. Squeezes the last
+/// correct digits out of an ill-conditioned system at `O(n²)` per sweep —
+/// the standard companion to LU in production solvers.
+pub fn pdgesv_refined(
+    ctx: &mut RankCtx,
+    comm: &Comm,
+    sys: &LinearSystem,
+    nb: usize,
+    max_iters: usize,
+) -> Result<RefinedSolve, LuError> {
+    let p = comm.size();
+    let (nprow, npcol) = ProcessGrid::square_shape(p);
+    let grid = ProcessGrid::new(ctx, comm, nprow, npcol);
+    let n = sys.n();
+    let nb = nb.max(1).min(n);
+    let desc = BlockDesc::square(n, nb, grid.nprow(), grid.npcol());
+    // Keep a pristine copy of A for residuals; factor the distributed one.
+    let a_orig = DistMatrix::from_global(ctx, &grid, desc, &sys.a);
+    let mut lu = DistMatrix::from_global(ctx, &grid, desc, &sys.a);
+    let ipiv = pdgetrf(ctx, &grid, &mut lu)?;
+    let mut x = sys.b.clone();
+    pdgetrs(ctx, &grid, &lu, &ipiv, &mut x);
+
+    let inf = |v: &[f64]| v.iter().fold(0.0f64, |m, &y| m.max(y.abs()));
+    let mut best = f64::INFINITY;
+    let mut iterations = 0;
+    for _ in 0..max_iters {
+        let ax = crate::pblas::pdgemv_replicated(ctx, &grid, &a_orig, &x);
+        let r: Vec<f64> = sys.b.iter().zip(&ax).map(|(b, y)| b - y).collect();
+        let rn = inf(&r);
+        if !rn.is_finite() || rn >= best {
+            break; // converged to roundoff (or diverging): stop.
+        }
+        best = rn;
+        if rn == 0.0 {
+            break;
+        }
+        let mut d = r;
+        pdgetrs(ctx, &grid, &lu, &ipiv, &mut d);
+        for (xi, di) in x.iter_mut().zip(&d) {
+            *xi += di;
+        }
+        iterations += 1;
+    }
+    let ax = crate::pblas::pdgemv_replicated(ctx, &grid, &a_orig, &x);
+    let residual_inf = inf(&sys
+        .b
+        .iter()
+        .zip(&ax)
+        .map(|(b, y)| b - y)
+        .collect::<Vec<_>>());
+    Ok(RefinedSolve {
+        x,
+        iterations,
+        residual_inf,
+    })
+}
+
+/// As [`pdgesv`] but over an existing grid (lets benchmarks control the
+/// grid shape).
+pub fn pdgesv_on_grid(
+    ctx: &mut RankCtx,
+    grid: &ProcessGrid,
+    sys: &LinearSystem,
+    nb: usize,
+) -> Result<Vec<f64>, LuError> {
+    let n = sys.n();
+    let nb = nb.max(1).min(n);
+    let desc = BlockDesc::square(n, nb, grid.nprow(), grid.npcol());
+    let mut a = DistMatrix::from_global(ctx, grid, desc, &sys.a);
+    let ipiv = pdgetrf(ctx, grid, &mut a)?;
+    let mut x = sys.b.clone();
+    pdgetrs(ctx, grid, &a, &ipiv, &mut x);
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greenla_cluster::placement::Placement;
+    use greenla_cluster::spec::ClusterSpec;
+    use greenla_cluster::PowerModel;
+    use greenla_linalg::generate;
+    use greenla_mpi::Machine;
+
+    fn machine(ranks: usize) -> Machine {
+        let spec = ClusterSpec::test_cluster(8, 4);
+        let placement = Placement::packed(&spec.node, ranks).unwrap();
+        Machine::new(spec, placement, PowerModel::deterministic(), 5).unwrap()
+    }
+
+    fn solve_and_check(ranks: usize, n: usize, nb: usize, seed: u64) {
+        let sys = generate::diag_dominant(n, seed);
+        let m = machine(ranks);
+        let out = m.run(|ctx| {
+            let world = ctx.world();
+            pdgesv(ctx, &world, &sys, nb).unwrap()
+        });
+        for x in &out.results {
+            let r = sys.residual(x);
+            assert!(r < 1e-11, "residual {r} for ranks={ranks} n={n} nb={nb}");
+        }
+        // Replicated results are identical across ranks.
+        for x in &out.results[1..] {
+            assert_eq!(x, &out.results[0]);
+        }
+    }
+
+    #[test]
+    fn single_rank_grid() {
+        solve_and_check(1, 24, 4, 1);
+    }
+
+    #[test]
+    fn various_grids_and_blocks() {
+        solve_and_check(4, 30, 4, 2); // 2×2
+        solve_and_check(8, 33, 5, 3); // 2×4, ragged blocks
+        solve_and_check(16, 40, 8, 4); // 4×4
+    }
+
+    #[test]
+    fn block_bigger_than_matrix() {
+        solve_and_check(4, 10, 64, 5);
+    }
+
+    #[test]
+    fn matches_sequential_pivots_and_factors() {
+        let n = 26;
+        let sys = generate::circuit_network(n, 8);
+        // Sequential reference.
+        let mut seq = sys.a.clone();
+        let ipiv_seq = crate::getrf::getrf(&mut seq, 4).unwrap();
+        let m = machine(4);
+        let out = m.run(|ctx| {
+            let world = ctx.world();
+            let grid = ProcessGrid::new(ctx, &world, 2, 2);
+            let desc = BlockDesc::square(n, 4, 2, 2);
+            let mut a = DistMatrix::from_global(ctx, &grid, desc, &sys.a);
+            let ipiv = pdgetrf(ctx, &grid, &mut a).unwrap();
+            let gathered = a.gather_to_root(ctx, &grid);
+            (ipiv, gathered)
+        });
+        let (ipiv, gathered) = &out.results[0];
+        assert_eq!(ipiv, &ipiv_seq, "pivot sequences must match LAPACK exactly");
+        let g = gathered.as_ref().unwrap();
+        for j in 0..n {
+            for i in 0..n {
+                assert!(
+                    (g[(i, j)] - seq[(i, j)]).abs() < 1e-9,
+                    "factor mismatch at ({i},{j}): {} vs {}",
+                    g[(i, j)],
+                    seq[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn singular_matrix_detected_on_all_ranks() {
+        use greenla_linalg::Matrix;
+        let n = 8;
+        let mut a = Matrix::zeros(n, n);
+        // Rank-deficient: two identical columns.
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = ((i * 5 + j * 3) % 7) as f64;
+            }
+        }
+        for i in 0..n {
+            let v = a[(i, 2)];
+            a[(i, 5)] = v;
+        }
+        let sys = generate::LinearSystem {
+            a,
+            b: vec![1.0; n],
+            x_ref: None,
+        };
+        let m = machine(4);
+        let out = m.run(|ctx| {
+            let world = ctx.world();
+            pdgesv(ctx, &world, &sys, 2)
+        });
+        for r in out.results {
+            assert!(matches!(r, Err(LuError::Singular { .. })), "got {r:?}");
+        }
+    }
+
+    #[test]
+    fn non_square_grid_shapes() {
+        let sys = generate::spd(21, 6);
+        let m = machine(6);
+        let out = m.run(|ctx| {
+            let world = ctx.world();
+            let grid = ProcessGrid::new(ctx, &world, 2, 3);
+            pdgesv_on_grid(ctx, &grid, &sys, 4).unwrap()
+        });
+        for x in out.results {
+            assert!(sys.residual(&x) < 1e-11);
+        }
+    }
+
+    #[test]
+    fn refinement_improves_or_matches_plain_solve() {
+        // A moderately conditioned system (SPD with clustered spectrum).
+        let sys = generate::spd(32, 10);
+        let m = machine(4);
+        let out = m.run(|ctx| {
+            let world = ctx.world();
+            let plain = pdgesv(ctx, &world, &sys, 4).unwrap();
+            let refined = pdgesv_refined(ctx, &world, &sys, 4, 5).unwrap();
+            (plain, refined.x, refined.iterations, refined.residual_inf)
+        });
+        let (plain, refined, iters, rnorm) = &out.results[0];
+        let r_plain = sys.residual(plain);
+        let r_refined = sys.residual(refined);
+        assert!(
+            r_refined <= r_plain * 1.01,
+            "refined {r_refined} vs plain {r_plain}"
+        );
+        assert!(*iters <= 5);
+        assert!(rnorm.is_finite() && *rnorm >= 0.0);
+    }
+
+    #[test]
+    fn refinement_safe_on_ill_conditioned_systems() {
+        // LU with partial pivoting is backward stable, so even on an
+        // ill-conditioned system the plain residual already sits at
+        // roundoff; fixed-precision refinement must not make it worse and
+        // must terminate (it stops as soon as the residual stalls).
+        let sys = generate::ill_conditioned(28, 0.75, 3);
+        let m = machine(4);
+        let out = m.run(|ctx| {
+            let world = ctx.world();
+            let plain = pdgesv(ctx, &world, &sys, 4).unwrap();
+            let refined = pdgesv_refined(ctx, &world, &sys, 4, 8).unwrap();
+            (
+                sys.residual(&plain),
+                sys.residual(&refined.x),
+                refined.iterations,
+            )
+        });
+        let (r_plain, r_refined, iters) = out.results[0];
+        assert!(
+            r_refined <= (r_plain * 5.0).max(1e-14),
+            "refined {r_refined} vs plain {r_plain}"
+        );
+        assert!(r_refined < 1e-13, "refined residual {r_refined}");
+        assert!(iters < 8, "refinement must stop once the residual stalls");
+    }
+
+    #[test]
+    fn refinement_converges_in_few_sweeps_on_well_conditioned_systems() {
+        let sys = generate::diag_dominant(24, 11);
+        let m = machine(4);
+        let out = m.run(|ctx| {
+            let world = ctx.world();
+            pdgesv_refined(ctx, &world, &sys, 4, 10).unwrap().iterations
+        });
+        assert!(out.results[0] <= 3, "took {} sweeps", out.results[0]);
+    }
+
+    #[test]
+    fn poisson_system_solves() {
+        let sys = generate::poisson2d(6, 0); // n = 36
+        let m = machine(9);
+        let out = m.run(|ctx| {
+            let world = ctx.world();
+            pdgesv(ctx, &world, &sys, 4).unwrap()
+        });
+        assert!(sys.residual(&out.results[0]) < 1e-12);
+    }
+}

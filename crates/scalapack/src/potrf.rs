@@ -1,0 +1,138 @@
+//! Sequential Cholesky factorisation and solve (`dpotrf`/`dpotrs`, lower
+//! variant) for symmetric positive-definite systems — the pivoting-free
+//! half of ScaLAPACK's dense-solver capability the paper describes
+//! ("solving dense and banded linear systems, least squares problems, …").
+
+use crate::error::LuError;
+use greenla_linalg::Matrix;
+
+/// Factor `A = L·Lᵀ` in place (lower triangle; the strict upper triangle is
+/// left untouched and never read). Errors with the failing column when `A`
+/// is not positive definite.
+pub fn potrf(a: &mut Matrix) -> Result<(), LuError> {
+    assert!(a.is_square(), "Cholesky needs a square matrix");
+    let n = a.rows();
+    for j in 0..n {
+        let mut d = a[(j, j)];
+        for k in 0..j {
+            let l = a[(j, k)];
+            d -= l * l;
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(LuError::NotPositiveDefinite { col: j });
+        }
+        let ljj = d.sqrt();
+        a[(j, j)] = ljj;
+        for i in j + 1..n {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= a[(i, k)] * a[(j, k)];
+            }
+            a[(i, j)] = s / ljj;
+        }
+    }
+    Ok(())
+}
+
+/// Solve `A·x = b` from the lower factor produced by [`potrf`]; `b` is
+/// overwritten with `x`.
+pub fn potrs(l: &Matrix, b: &mut [f64]) {
+    let n = l.rows();
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    // Forward: L·y = b.
+    for i in 0..n {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= l[(i, k)] * b[k];
+        }
+        b[i] = s / l[(i, i)];
+    }
+    // Backward: Lᵀ·x = y.
+    for i in (0..n).rev() {
+        let mut s = b[i];
+        for k in i + 1..n {
+            s -= l[(k, i)] * b[k];
+        }
+        b[i] = s / l[(i, i)];
+    }
+}
+
+/// Factor-and-solve convenience (LAPACK `dposv`).
+pub fn posv(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LuError> {
+    let mut l = a.clone();
+    potrf(&mut l)?;
+    let mut x = b.to_vec();
+    potrs(&l, &mut x);
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::getrs::gesv;
+    use greenla_linalg::generate;
+
+    #[test]
+    fn solves_spd_systems() {
+        for (n, seed) in [(1, 1), (8, 2), (24, 3), (50, 4)] {
+            let sys = generate::spd(n, seed);
+            let x = posv(&sys.a, &sys.b).unwrap();
+            assert!(sys.residual(&x) < 1e-11, "n={n}: {}", sys.residual(&x));
+        }
+    }
+
+    #[test]
+    fn matches_lu_on_spd() {
+        let sys = generate::spd(30, 5);
+        let x_chol = posv(&sys.a, &sys.b).unwrap();
+        let x_lu = gesv(&sys.a, &sys.b, 8).unwrap();
+        for (a, b) in x_chol.iter().zip(&x_lu) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let sys = generate::spd(12, 6);
+        let mut l = sys.a.clone();
+        potrf(&mut l).unwrap();
+        for i in 0..12 {
+            for j in 0..=i {
+                let mut s = 0.0;
+                for k in 0..=j {
+                    s += l[(i, k)] * l[(j, k)];
+                }
+                assert!(
+                    (s - sys.a[(i, j)]).abs() < 1e-10 * (1.0 + sys.a[(i, j)].abs()),
+                    "LLᵀ ≠ A at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solves_circuit_conductance_matrices() {
+        // Conductance matrices are symmetric positive definite.
+        let sys = generate::circuit_network(40, 7);
+        let x = posv(&sys.a, &sys.b).unwrap();
+        assert!(sys.residual(&x) < 1e-12);
+    }
+
+    #[test]
+    fn rejects_indefinite_matrix() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, −1
+        assert_eq!(
+            potrf(&mut a.clone()),
+            Err(LuError::NotPositiveDefinite { col: 1 })
+        );
+    }
+
+    #[test]
+    fn rejects_negative_leading_entry() {
+        let a = Matrix::from_rows(&[&[-1.0, 0.0], &[0.0, 1.0]]);
+        assert_eq!(
+            potrf(&mut a.clone()),
+            Err(LuError::NotPositiveDefinite { col: 0 })
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Fault tolerance demo: IMe's checksum-based in-band recovery — the
+//! capability the paper cites as IMe's key advantage over the
+//! checkpoint/restart that Gaussian elimination needs (Artioli, Loreti &
+//! Ciampolini, SRDS 2019).
+//!
+//! A rank loses one of its inhibition-table columns mid-solve at several
+//! points; the survivors reconstruct it from the running checksum column
+//! and the job completes with the same answer as a fault-free run.
+//!
+//! ```text
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use greenla::cluster::placement::Placement;
+use greenla::cluster::spec::ClusterSpec;
+use greenla::cluster::PowerModel;
+use greenla::ime::ft::{solve_imep_ft, FailureSpec};
+use greenla::ime::solve_seq;
+use greenla::linalg::generate;
+use greenla::mpi::Machine;
+
+fn main() {
+    let n = 240;
+    let ranks = 8;
+    let sys = generate::diag_dominant(n, 17);
+    let (x_ref, _) = solve_seq(&sys).expect("reference solve");
+    println!("IMe fault-tolerance demo: n={n}, {ranks} ranks\n");
+
+    let scenarios = [
+        ("no fault", None),
+        (
+            "early loss of a right column",
+            Some(FailureSpec {
+                level: n - 2,
+                column: n + 7,
+            }),
+        ),
+        (
+            "mid-solve loss of a left column",
+            Some(FailureSpec {
+                level: n / 2,
+                column: 3,
+            }),
+        ),
+        (
+            "late loss near the end",
+            Some(FailureSpec {
+                level: 2,
+                column: n + 1,
+            }),
+        ),
+        (
+            "loss of a master-owned column",
+            Some(FailureSpec {
+                level: n / 3,
+                column: 0,
+            }),
+        ),
+    ];
+
+    for (label, failure) in scenarios {
+        let spec = ClusterSpec::test_cluster(2, 4);
+        let placement = Placement::packed(&spec.node, ranks).unwrap();
+        let power = PowerModel::scaled_for(&spec.node);
+        let machine = Machine::new(spec, placement, power, 23).unwrap();
+        let out = machine.run(|ctx| {
+            let world = ctx.world();
+            solve_imep_ft(ctx, &world, &sys, failure).expect("FT solve")
+        });
+        let x = &out.results[0];
+        let err = x
+            .iter()
+            .zip(&x_ref)
+            .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()));
+        println!(
+            "{label:<34} residual {:.2e}   max|x − x_ref| {err:.2e}   time {:.1} µs",
+            sys.residual(x),
+            out.makespan * 1e6
+        );
+        assert!(sys.residual(x) < 1e-9, "recovery must preserve exactness");
+    }
+
+    println!(
+        "\nEvery faulty run recovered in-band: the per-level update is a row \
+         operation, so a checksum column maintained with the same formula \
+         always equals the sum of all columns — one extra column of \
+         arithmetic instead of a checkpoint/restart cycle."
+    );
+}

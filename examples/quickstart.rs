@@ -1,0 +1,87 @@
+//! Quickstart: solve one linear system with both solvers under the
+//! white-box energy monitor and print the per-node energy report — the
+//! whole pipeline of the paper in ~80 lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use greenla::cluster::placement::{LoadLayout, Placement};
+use greenla::cluster::spec::ClusterSpec;
+use greenla::cluster::PowerModel;
+use greenla::ime::{solve_imep, ImepOptions};
+use greenla::linalg::generate;
+use greenla::monitor::monitoring::MonitorConfig;
+use greenla::monitor::protocol::monitored_run;
+use greenla::monitor::report::JobSummary;
+use greenla::mpi::Machine;
+use greenla::rapl::RaplSim;
+use greenla::scalapack::pdgesv::pdgesv;
+use std::sync::Arc;
+
+fn main() {
+    let n = 360;
+    let ranks = 16;
+    println!("greenla quickstart: n={n}, {ranks} ranks, full-load layout\n");
+
+    // The input system — the paper loads it from a file for repeatability;
+    // generators are deterministic per seed, which serves the same goal.
+    let sys = generate::diag_dominant(n, 2023);
+
+    for solver in ["IMe", "ScaLAPACK"] {
+        // A fresh simulated cluster per run (fresh energy counters).
+        let spec = ClusterSpec::test_cluster(2, 4);
+        let placement = Placement::layout(&spec.node, ranks, LoadLayout::FullLoad).unwrap();
+        let power = PowerModel::scaled_for(&spec.node);
+        let machine = Machine::new(spec, placement, power, 7).unwrap();
+        let rapl = Arc::new(RaplSim::new(machine.ledger(), machine.power().clone(), 7));
+
+        let out = machine.run(|ctx| {
+            let world = ctx.world();
+            let run = monitored_run(ctx, &rapl, &MonitorConfig::default(), |ctx, handle| {
+                // Allocation phase, then the solve.
+                ctx.touch_memory(8 * (n * n / ranks) as u64);
+                handle.phase(ctx, "allocation").unwrap();
+                let x = match solver {
+                    "IMe" => solve_imep(ctx, &world, &sys, ImepOptions::optimized()).unwrap(),
+                    _ => pdgesv(ctx, &world, &sys, 32).unwrap(),
+                };
+                handle.phase(ctx, "execution").unwrap();
+                x
+            })
+            .unwrap();
+            (run.result, run.report)
+        });
+
+        let x = &out.results[0].0;
+        let reports: Vec<_> = out.results.iter().filter_map(|(_, r)| r.clone()).collect();
+        let summary = JobSummary::aggregate(&reports);
+        println!("── {solver} ──");
+        println!("  residual          : {:.3e}", sys.residual(x));
+        println!(
+            "  duration          : {:.6} s (virtual)",
+            summary.duration_s
+        );
+        println!("  package energy    : {:.2} J", summary.pkg_energy_j);
+        println!("  DRAM energy       : {:.2} J", summary.dram_energy_j);
+        println!("  total energy      : {:.2} J", summary.total_energy_j);
+        println!("  mean power        : {:.1} W", summary.mean_power_w);
+        println!("  messages          : {}", out.traffic.msgs);
+        println!(
+            "  volume            : {} f64 elements",
+            out.traffic.volume_elems()
+        );
+        for r in &reports {
+            println!(
+                "  node {}: monitor rank {}, {} events, {:.2} J",
+                r.node,
+                r.monitor_rank,
+                r.events.len(),
+                r.total_energy_j()
+            );
+        }
+        println!();
+    }
+    println!("Tip: `cargo run --release -p greenla-harness --bin repro -- --exp all`");
+    println!("regenerates every table and figure of the paper.");
+}
