@@ -1,11 +1,12 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--exp all|table1|fig3|fig4|fig5|fig6|fig7|summary|overhead]
+//! repro [--exp all|table1|fig3|fig4|fig5|fig6|fig7|summary|overhead|powercap|trace]
 //!       [--tier functional|model|both]   (default: both)
 //!       [--reps N]                       (default: 3)
 //!       [--smoke]                        (tiny grid for CI)
 //!       [--out DIR]                      (default: results)
+//!       [--trace-out PATH]               (Chrome Trace JSON of one traced solve)
 //! ```
 //!
 //! Functional-tier figures come from real monitored solves on the scaled
@@ -27,6 +28,7 @@ struct Args {
     reps: usize,
     smoke: bool,
     out: PathBuf,
+    trace_out: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -36,6 +38,7 @@ fn parse_args() -> Args {
         reps: 3,
         smoke: false,
         out: PathBuf::from("results"),
+        trace_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -51,8 +54,11 @@ fn parse_args() -> Args {
             }
             "--smoke" => args.smoke = true,
             "--out" => args.out = PathBuf::from(it.next().expect("--out needs a value")),
+            "--trace-out" => {
+                args.trace_out = Some(PathBuf::from(it.next().expect("--trace-out needs a value")))
+            }
             "--help" | "-h" => {
-                println!("usage: repro [--exp all|table1|fig3..fig7|summary|overhead|powercap|trace] [--tier functional|model|both] [--reps N] [--smoke] [--out DIR]");
+                println!("usage: repro [--exp all|table1|fig3..fig7|summary|overhead|powercap|trace] [--tier functional|model|both] [--reps N] [--smoke] [--out DIR] [--trace-out PATH]");
                 std::process::exit(0);
             }
             other => {
@@ -207,8 +213,28 @@ fn main() {
 
     if wants("trace") && functional {
         let (n, ranks) = if args.smoke { (128, 8) } else { (480, 16) };
-        let fig = greenla_harness::trace::figure(n, ranks, 1e-3, 7);
+        let fig = greenla_harness::power_trace::figure(n, ranks, 1e-3, 7);
         emit(&args.out, &fig);
+    }
+
+    if let Some(path) = &args.trace_out {
+        use greenla_harness::chrome_trace::traced_solve;
+        use greenla_harness::config::SolverChoice;
+        let (n, ranks) = if args.smoke { (96, 8) } else { (240, 16) };
+        let run = traced_solve(SolverChoice::ime_optimized(), n, ranks, 7);
+        let text = serde_json::to_string_pretty(&run.trace).expect("serialise trace");
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("create trace dir");
+            }
+        }
+        std::fs::write(path, text).expect("write trace");
+        eprintln!(
+            "wrote {} ({} events, virtual makespan {:.6} s) — open in https://ui.perfetto.dev",
+            path.display(),
+            run.event_count,
+            run.makespan_s
+        );
     }
 
     if wants("overhead") && functional {

@@ -11,19 +11,20 @@
 //!   paper's exact configurations (8640…34560 × 144/576/1296 ranks),
 //!   printing the same rows/series the paper reports.
 //!
-//! A single measurement [`campaign`](run::campaign) produces the dataset
+//! A single measurement [`campaign`](run::Dataset::campaign) produces the dataset
 //! all figures slice, as in the paper; [`summary`] distils the headline
 //! claims (energy gap, power gap, load-level ordering, crossovers) and
 //! checks them against the paper's stated bands.
 
 pub mod charts;
+pub mod chrome_trace;
 pub mod config;
 pub mod experiments;
 pub mod output;
 pub mod powercap;
+pub mod power_trace;
 pub mod run;
 pub mod summary;
-pub mod trace;
 
 pub use config::{FunctionalGrid, SolverChoice};
 pub use run::{run_once, Aggregated, DataPoint, Dataset, Measurement, RunConfig};

@@ -195,10 +195,10 @@ pub struct Dataset {
 impl Dataset {
     /// Run the whole measurement campaign for a grid (both solvers, every
     /// dim × ranks × layout, `reps` repetitions each). Independent
-    /// configurations run in parallel via rayon; each simulation is
-    /// deterministic, so the dataset is identical regardless of scheduling.
+    /// configurations run in parallel on a scoped thread pool; each
+    /// simulation is deterministic, so the dataset is identical regardless
+    /// of scheduling.
     pub fn campaign(grid: &FunctionalGrid, progress: impl Fn(&str) + Sync) -> Dataset {
-        use rayon::prelude::*;
         let solvers = [SolverChoice::ime_optimized(), SolverChoice::scalapack()];
         let mut configs = Vec::new();
         for &n in &grid.dims {
@@ -210,9 +210,8 @@ impl Dataset {
                 }
             }
         }
-        let points: Vec<DataPoint> = configs
-            .par_iter()
-            .map(|&(n, ranks, layout, solver)| {
+        let points: Vec<DataPoint> =
+            parallel_map(&configs, |&(n, ranks, layout, solver)| {
                 progress(&format!(
                     "n={n} ranks={ranks} layout={layout} solver={}",
                     solver.label()
@@ -237,8 +236,7 @@ impl Dataset {
                     layout,
                     agg: Aggregated::from_runs(&runs),
                 }
-            })
-            .collect();
+            });
         Dataset { points }
     }
 
@@ -254,4 +252,42 @@ impl Dataset {
             .iter()
             .find(|p| p.solver == solver && p.n == n && p.ranks == ranks && p.layout == layout)
     }
+}
+
+/// Order-preserving parallel map over a slice on scoped worker threads.
+/// Workers pull indices from a shared atomic counter, so long-running
+/// configurations don't serialise behind a fixed chunking.
+fn parallel_map<T: Sync, U: Send>(items: &[T], f: impl Fn(&T) -> U + Sync) -> Vec<U> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(items.len());
+    let next = AtomicUsize::new(0);
+    let mut indexed: Vec<(usize, U)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut produced = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        produced.push((i, f(&items[i])));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("campaign worker panicked"))
+            .collect()
+    });
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, u)| u).collect()
 }

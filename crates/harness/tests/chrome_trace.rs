@@ -1,0 +1,159 @@
+//! Exporter contract tests: the Chrome Trace document of a tiny traced
+//! solve is stable (golden), structurally well formed (monotone per-track
+//! timestamps, matched B/E pairs, counter tracks present, monitoring
+//! choreography visible), and tracing never perturbs virtual time.
+
+use greenla_harness::chrome_trace::{traced_solve, untraced_makespan};
+use greenla_harness::config::SolverChoice;
+use serde_json::Value;
+
+const N: usize = 64;
+const RANKS: usize = 4;
+const SEED: u64 = 11;
+
+fn export() -> Value {
+    traced_solve(SolverChoice::ime_optimized(), N, RANKS, SEED).trace
+}
+
+fn trace_events(doc: &Value) -> &[Value] {
+    doc.get("traceEvents")
+        .and_then(Value::as_array)
+        .expect("traceEvents array")
+}
+
+fn field_u64(e: &Value, key: &str) -> u64 {
+    e.get(key).and_then(Value::as_u64).expect("u64 field")
+}
+
+#[test]
+fn export_is_deterministic_golden() {
+    let a = serde_json::to_string_pretty(&export()).unwrap();
+    let b = serde_json::to_string_pretty(&export()).unwrap();
+    assert_eq!(a, b, "same run must export byte-identical JSON");
+    assert!(a.len() > 1000, "trace should be substantive: {} bytes", a.len());
+}
+
+#[test]
+fn per_track_timestamps_are_monotone() {
+    let doc = export();
+    let mut last: std::collections::HashMap<(u64, u64), f64> = Default::default();
+    let mut span_events = 0usize;
+    for e in trace_events(&doc) {
+        let ph = e.get("ph").and_then(Value::as_str).unwrap();
+        if !matches!(ph, "B" | "E" | "i") {
+            continue;
+        }
+        span_events += 1;
+        let key = (field_u64(e, "pid"), field_u64(e, "tid"));
+        let ts = e.get("ts").and_then(Value::as_f64).unwrap();
+        if let Some(&prev) = last.get(&key) {
+            assert!(
+                ts >= prev,
+                "track {key:?}: ts went backwards ({prev} -> {ts})"
+            );
+        }
+        last.insert(key, ts);
+    }
+    assert!(span_events > 50, "expected a rich trace, got {span_events} events");
+    assert_eq!(last.len(), RANKS, "one span track per rank");
+}
+
+#[test]
+fn begin_end_pairs_match_per_track() {
+    let doc = export();
+    let mut stacks: std::collections::HashMap<(u64, u64), Vec<String>> = Default::default();
+    for e in trace_events(&doc) {
+        let ph = e.get("ph").and_then(Value::as_str).unwrap();
+        let key = (
+            e.get("pid").and_then(Value::as_u64).unwrap_or(0),
+            e.get("tid").and_then(Value::as_u64).unwrap_or(0),
+        );
+        let name = e.get("name").and_then(Value::as_str).unwrap().to_string();
+        match ph {
+            "B" => stacks.entry(key).or_default().push(name),
+            "E" => {
+                let open = stacks
+                    .entry(key)
+                    .or_default()
+                    .pop()
+                    .unwrap_or_else(|| panic!("track {key:?}: E '{name}' with no open span"));
+                assert_eq!(open, name, "track {key:?}: spans must nest (LIFO)");
+            }
+            _ => {}
+        }
+    }
+    for (key, stack) in &stacks {
+        assert!(stack.is_empty(), "track {key:?}: unclosed spans {stack:?}");
+    }
+}
+
+#[test]
+fn counter_tracks_are_present_and_energy_grows() {
+    let doc = export();
+    let energy: Vec<&Value> = trace_events(&doc)
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(Value::as_str) == Some("C")
+                && e.get("name").and_then(Value::as_str) == Some("energy (J)")
+        })
+        .collect();
+    assert!(!energy.is_empty(), "energy counter track missing");
+    let pkg: Vec<f64> = energy
+        .iter()
+        .map(|e| {
+            e.get("args")
+                .and_then(|a| a.get("pkg_j"))
+                .and_then(Value::as_f64)
+                .expect("pkg_j arg")
+        })
+        .collect();
+    assert!(
+        pkg.windows(2).all(|w| w[1] >= w[0]),
+        "cumulative package energy must be non-decreasing"
+    );
+    assert!(*pkg.last().unwrap() > 0.0, "final energy must be positive");
+    let tx = trace_events(&doc).iter().any(|e| {
+        e.get("ph").and_then(Value::as_str) == Some("C")
+            && e.get("name").and_then(Value::as_str) == Some("tx (bytes)")
+    });
+    assert!(tx, "traffic counter track missing");
+}
+
+#[test]
+fn monitor_choreography_is_visible() {
+    let doc = export();
+    let events = trace_events(&doc);
+    let count = |name: &str, ph: &str| {
+        events
+            .iter()
+            .filter(|e| {
+                e.get("name").and_then(Value::as_str) == Some(name)
+                    && e.get("ph").and_then(Value::as_str) == Some(ph)
+            })
+            .count()
+    };
+    // Every rank runs the protocol: begin / measured region / finish.
+    assert_eq!(count("monitor_begin", "B"), RANKS);
+    assert_eq!(count("measured_region", "B"), RANKS);
+    assert_eq!(count("monitor_finish", "B"), RANKS);
+    // One monitoring rank per node (4 ranks on one test node here).
+    assert_eq!(count("start_monitoring", "i"), 1);
+    assert_eq!(count("end_monitoring", "i"), 1);
+    // Phase markers from the harness workload.
+    assert_eq!(count("phase:allocation", "i"), RANKS);
+    assert_eq!(count("phase:execution", "i"), RANKS);
+    // Collectives show up as spans nested in the protocol.
+    assert!(count("barrier", "B") >= 4 * RANKS, "barriers missing");
+}
+
+#[test]
+fn tracing_does_not_change_virtual_time() {
+    let traced = traced_solve(SolverChoice::ime_optimized(), N, RANKS, SEED);
+    let baseline = untraced_makespan(SolverChoice::ime_optimized(), N, RANKS, SEED);
+    assert_eq!(
+        traced.makespan_s.to_bits(),
+        baseline.to_bits(),
+        "tracing must be a pure observer of the virtual clocks"
+    );
+    assert!(traced.event_count > 0);
+}

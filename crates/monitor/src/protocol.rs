@@ -56,6 +56,7 @@ impl MonitorHandle {
         rapl: &Arc<RaplSim>,
         cfg: &MonitorConfig,
     ) -> Result<MonitorHandle, MonitorError> {
+        ctx.trace_begin("monitor", "monitor_begin");
         let world = ctx.world();
         let node_comm = ctx.split_shared(&world);
         let is_monitor = node_comm.is_highest();
@@ -66,7 +67,10 @@ impl MonitorHandle {
         let mut session = None;
         if is_monitor {
             match start_monitoring(rapl, ctx.node(), cfg, ctx.now()) {
-                Ok(s) => session = Some(s),
+                Ok(s) => {
+                    ctx.trace_instant("start_monitoring");
+                    session = Some(s);
+                }
                 Err(MonitorError::Papi(code)) => status = vec![code as i64 as u64],
                 Err(MonitorError::Io(_)) => unreachable!("start does no file i/o"),
             }
@@ -75,10 +79,13 @@ impl MonitorHandle {
         let root = node_comm.size() - 1;
         ctx.bcast_u64(&node_comm, root, &mut status);
         if status[0] != STATUS_OK {
+            ctx.trace_end("monitor", "monitor_begin");
             return Err(MonitorError::Papi(status[0] as i64 as i32));
         }
         // General execution synchronisation.
         ctx.barrier(&world);
+        ctx.trace_end("monitor", "monitor_begin");
+        ctx.trace_begin("monitor", "measured_region");
         Ok(MonitorHandle {
             node_comm,
             session,
@@ -91,6 +98,9 @@ impl MonitorHandle {
     /// node synchronise so the boundary is well defined.
     pub fn phase(&mut self, ctx: &mut RankCtx, label: &str) -> Result<(), MonitorError> {
         ctx.barrier(&self.node_comm);
+        if ctx.trace_enabled() {
+            ctx.trace_instant(&format!("phase:{label}"));
+        }
         if let Some(s) = self.session.as_mut() {
             s.mark_phase(label, ctx.now())?;
         }
@@ -103,12 +113,15 @@ impl MonitorHandle {
         ctx: &mut RankCtx,
         cfg: &MonitorConfig,
     ) -> Result<Option<NodeReport>, MonitorError> {
+        ctx.trace_end("monitor", "measured_region");
+        ctx.trace_begin("monitor", "monitor_finish");
         // Ranks of the node synchronise so the monitoring rank stops only
         // after all of them completed their share.
         ctx.barrier(&self.node_comm);
         let mut report = None;
         if let Some(session) = self.session {
             let r = end_monitoring(session, ctx.node(), self.monitor_rank_world, ctx.now())?;
+            ctx.trace_instant("end_monitoring");
             if let Some(dir) = &cfg.output_dir {
                 files::write_node_report(dir, &r).map_err(|e| MonitorError::Io(e.to_string()))?;
             }
@@ -117,6 +130,7 @@ impl MonitorHandle {
         // Final job-wide alignment (then MPI_Finalize in the C framework).
         let world = ctx.world();
         ctx.barrier(&world);
+        ctx.trace_end("monitor", "monitor_finish");
         Ok(report)
     }
 
@@ -134,6 +148,36 @@ impl MonitorHandle {
 /// Run `workload` under monitoring: the complete Figure-2 flow in one call.
 /// The workload receives the rank context and the handle (to mark phase
 /// boundaries).
+///
+/// # Example
+///
+/// ```
+/// use greenla_cluster::placement::{LoadLayout, Placement};
+/// use greenla_cluster::spec::ClusterSpec;
+/// use greenla_cluster::PowerModel;
+/// use greenla_monitor::{monitored_run, MonitorConfig};
+/// use greenla_mpi::Machine;
+/// use greenla_rapl::RaplSim;
+/// use std::sync::Arc;
+///
+/// let spec = ClusterSpec::test_cluster(1, 4); // one node, 2×4 cores
+/// let placement = Placement::layout(&spec.node, 8, LoadLayout::FullLoad).unwrap();
+/// let machine = Machine::new(spec, placement, PowerModel::deterministic(), 1).unwrap();
+/// let rapl = Arc::new(RaplSim::new(machine.ledger(), machine.power().clone(), 1));
+/// let cfg = MonitorConfig::default();
+///
+/// let out = machine.run(|ctx| {
+///     monitored_run(ctx, &rapl, &cfg, |ctx, _handle| {
+///         ctx.compute(1_000_000, 0); // the measured workload
+///     })
+///     .expect("monitoring protocol")
+/// });
+///
+/// // Exactly one rank per node (here: one node) produced a report.
+/// let reports: Vec<_> = out.results.into_iter().filter_map(|m| m.report).collect();
+/// assert_eq!(reports.len(), 1);
+/// assert!(reports[0].total_energy_j() > 0.0);
+/// ```
 pub fn monitored_run<R>(
     ctx: &mut RankCtx,
     rapl: &Arc<RaplSim>,

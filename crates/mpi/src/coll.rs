@@ -61,12 +61,14 @@ impl<'m> RankCtx<'m> {
     /// `MPI_Bcast` of doubles: `buf` is the payload at the root and is
     /// overwritten (and resized) everywhere else.
     pub fn bcast_f64(&mut self, comm: &Comm, root: usize, buf: &mut Vec<f64>) {
+        self.trace_begin("coll", "bcast");
         let payload = if comm.rank() == root {
             Some(Payload::F64(std::mem::take(buf)))
         } else {
             None
         };
         *buf = self.bcast_payload(comm, root, payload).expect_f64();
+        self.trace_end("coll", "bcast");
     }
 
     /// Pipelined large-message broadcast: a binary tree over the
@@ -84,10 +86,12 @@ impl<'m> RankCtx<'m> {
         chunk_elems: usize,
     ) {
         assert!(chunk_elems > 0, "chunk size must be positive");
+        self.trace_begin("coll", "bcast_pipelined");
         let p = comm.size();
         let me = comm.rank();
         if p == 1 {
             self.next_seq(comm.id());
+            self.trace_end("coll", "bcast_pipelined");
             return;
         }
         let seq = self.next_seq(comm.id());
@@ -139,6 +143,7 @@ impl<'m> RankCtx<'m> {
             }
         }
         *buf = out;
+        self.trace_end("coll", "bcast_pipelined");
     }
 
     fn recv_payload_u64(&mut self, comm: &Comm, src_index: usize, tag: u64) -> Vec<u64> {
@@ -151,18 +156,33 @@ impl<'m> RankCtx<'m> {
 
     /// `MPI_Bcast` of u64 values.
     pub fn bcast_u64(&mut self, comm: &Comm, root: usize, buf: &mut Vec<u64>) {
+        self.trace_begin("coll", "bcast");
         let payload = if comm.rank() == root {
             Some(Payload::U64(std::mem::take(buf)))
         } else {
             None
         };
         *buf = self.bcast_payload(comm, root, payload).expect_u64();
+        self.trace_end("coll", "bcast");
     }
 
     /// Binomial-tree reduction of f64 vectors toward `root` with a custom
     /// element-wise combiner. Returns `Some(result)` at the root, `None`
     /// elsewhere.
     pub fn reduce_f64_with(
+        &mut self,
+        comm: &Comm,
+        root: usize,
+        acc: Vec<f64>,
+        op: impl Fn(&mut [f64], &[f64]),
+    ) -> Option<Vec<f64>> {
+        self.trace_begin("coll", "reduce");
+        let out = self.reduce_f64_with_impl(comm, root, acc, op);
+        self.trace_end("coll", "reduce");
+        out
+    }
+
+    fn reduce_f64_with_impl(
         &mut self,
         comm: &Comm,
         root: usize,
@@ -207,14 +227,17 @@ impl<'m> RankCtx<'m> {
 
     /// `MPI_Allreduce(MPI_SUM)` of f64 vectors (reduce to 0, then bcast).
     pub fn allreduce_sum_f64(&mut self, comm: &Comm, data: &[f64]) -> Vec<f64> {
+        self.trace_begin("coll", "allreduce");
         let reduced = self.reduce_sum_f64(comm, 0, data);
         let mut buf = reduced.unwrap_or_default();
         self.bcast_f64(comm, 0, &mut buf);
+        self.trace_end("coll", "allreduce");
         buf
     }
 
     /// `MPI_Allreduce(MPI_MAX)` of a scalar.
     pub fn allreduce_max_f64(&mut self, comm: &Comm, v: f64) -> f64 {
+        self.trace_begin("coll", "allreduce");
         let reduced = self.reduce_f64_with(comm, 0, vec![v], |a, b| {
             if b[0] > a[0] {
                 a[0] = b[0];
@@ -222,6 +245,7 @@ impl<'m> RankCtx<'m> {
         });
         let mut buf = reduced.unwrap_or_default();
         self.bcast_f64(comm, 0, &mut buf);
+        self.trace_end("coll", "allreduce");
         buf[0]
     }
 
@@ -229,6 +253,7 @@ impl<'m> RankCtx<'m> {
     /// smaller `loc`; returns `(winning value, winning loc)`. The pivot
     /// search of distributed LU is built on this.
     pub fn allreduce_maxloc_abs(&mut self, comm: &Comm, v: f64, loc: u64) -> (f64, u64) {
+        self.trace_begin("coll", "allreduce_maxloc");
         let reduced = self.reduce_f64_with(comm, 0, vec![v, loc as f64], |a, b| {
             let better = b[0].abs() > a[0].abs() || (b[0].abs() == a[0].abs() && b[1] < a[1]);
             if better {
@@ -238,16 +263,18 @@ impl<'m> RankCtx<'m> {
         });
         let mut buf = reduced.unwrap_or_default();
         self.bcast_f64(comm, 0, &mut buf);
+        self.trace_end("coll", "allreduce_maxloc");
         (buf[0], buf[1] as u64)
     }
 
     /// `MPI_Gather` of variable-length f64 chunks: the root receives every
     /// member's chunk in communicator order (its own included).
     pub fn gather_f64(&mut self, comm: &Comm, root: usize, data: &[f64]) -> Option<Vec<Vec<f64>>> {
+        self.trace_begin("coll", "gather");
         let p = comm.size();
         let tag = self.coll_tag(comm);
         let me = comm.rank();
-        if me == root {
+        let result = if me == root {
             let mut out: Vec<Vec<f64>> = Vec::with_capacity(p);
             for i in 0..p {
                 if i == me {
@@ -260,12 +287,15 @@ impl<'m> RankCtx<'m> {
         } else {
             self.send_payload(comm, root, tag, Payload::F64(data.to_vec()));
             None
-        }
+        };
+        self.trace_end("coll", "gather");
+        result
     }
 
     /// `MPI_Allgather` of variable-length f64 chunks: gather to rank 0 and
     /// re-broadcast (counts first, then the flattened payload).
     pub fn allgather_f64(&mut self, comm: &Comm, data: &[f64]) -> Vec<Vec<f64>> {
+        self.trace_begin("coll", "allgather");
         let gathered = self.gather_f64(comm, 0, data);
         let (mut counts, mut flat) = match gathered {
             Some(chunks) => {
@@ -284,6 +314,7 @@ impl<'m> RankCtx<'m> {
             out.push(flat[off..off + c].to_vec());
             off += c;
         }
+        self.trace_end("coll", "allgather");
         out
     }
 }

@@ -10,6 +10,7 @@ use greenla_cluster::placement::Placement;
 use greenla_cluster::spec::ClusterSpec;
 use greenla_cluster::topology::CoreId;
 use greenla_cluster::PowerModel;
+use greenla_trace::RankTracer;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
@@ -44,6 +45,9 @@ pub struct RankCtx<'m> {
     /// as ranks issue collectives in the same order — the MPI contract).
     pub(crate) seqs: HashMap<u64, u64>,
     pub(crate) world_members: Arc<Vec<usize>>,
+    /// Event recorder for this rank; a no-op unless the machine has an
+    /// enabled [`greenla_trace::TraceSink`] attached.
+    pub(crate) tracer: RankTracer,
 }
 
 impl<'m> RankCtx<'m> {
@@ -103,6 +107,34 @@ impl<'m> RankCtx<'m> {
         self.placement
     }
 
+    // ----- event tracing ---------------------------------------------------------
+
+    /// Is event tracing active for this run? Workloads can skip building
+    /// span labels when it is not.
+    pub fn trace_enabled(&self) -> bool {
+        self.tracer.enabled()
+    }
+
+    /// Open a trace span at the current virtual time. Spans on one rank
+    /// must nest (close in LIFO order). No-op when tracing is disabled.
+    pub fn trace_begin(&mut self, cat: &'static str, name: &str) {
+        let t = self.clock;
+        self.tracer.begin(cat, name, t);
+    }
+
+    /// Close the innermost open span with this name at the current virtual
+    /// time.
+    pub fn trace_end(&mut self, cat: &'static str, name: &str) {
+        let t = self.clock;
+        self.tracer.end(cat, name, t);
+    }
+
+    /// Record a zero-duration marker at the current virtual time.
+    pub fn trace_instant(&mut self, name: &str) {
+        let t = self.clock;
+        self.tracer.instant(name, t);
+    }
+
     // ----- virtual-time charging -------------------------------------------------
 
     /// Record a busy interval of `dt` seconds starting at the current clock
@@ -158,7 +190,20 @@ impl<'m> RankCtx<'m> {
             self.ledger
                 .record_dram(self.core.node, self.core.socket, self.clock, dram_bytes);
         }
+        if self.tracer.enabled() {
+            let t = self.clock;
+            self.tracer.begin_with_args(
+                "compute",
+                "compute",
+                t,
+                &[("flops", flops as f64), ("dram_bytes", dram_bytes as f64)],
+            );
+        }
         self.busy(t_flops.max(t_mem), ActivityKind::Compute, flops);
+        if self.tracer.enabled() {
+            let t = self.clock;
+            self.tracer.end("compute", "compute", t);
+        }
     }
 
     /// Charge a pure memory operation (allocation, initialisation, copies)
@@ -188,6 +233,15 @@ impl<'m> RankCtx<'m> {
         let bytes = payload.size_bytes();
         let same_node = self.placement.node_of(dst) == self.core.node;
         let o = self.spec.net.per_message_overhead_s;
+        if self.tracer.enabled() {
+            let t = self.clock;
+            self.tracer.begin_with_args(
+                "comm",
+                "send",
+                t,
+                &[("bytes", bytes as f64), ("dst", dst as f64)],
+            );
+        }
         self.busy(o, ActivityKind::Comm, 0);
         let arrival = self.clock + self.spec.net.message_time(bytes, same_node);
         self.traffic.record(bytes, same_node);
@@ -200,12 +254,21 @@ impl<'m> RankCtx<'m> {
                 payload,
             })
             .expect("destination mailbox closed");
+        if self.tracer.enabled() {
+            let t = self.clock;
+            self.tracer.end("comm", "send", t);
+        }
     }
 
     pub(crate) fn recv_payload(&mut self, comm: &Comm, src_index: usize, tag: u64) -> Payload {
         let src = comm.global_rank(src_index);
         assert!(src != self.rank, "self-receive on comm {}", comm.id());
         let cid = comm.id();
+        if self.tracer.enabled() {
+            let t = self.clock;
+            self.tracer
+                .begin_with_args("comm", "recv", t, &[("src", src as f64)]);
+        }
         loop {
             if let Some(pos) = self
                 .pending
@@ -216,6 +279,10 @@ impl<'m> RankCtx<'m> {
                 let o = self.spec.net.per_message_overhead_s;
                 let done = (self.clock + o).max(env.arrival + o);
                 self.busy_until(done, ActivityKind::Comm);
+                if self.tracer.enabled() {
+                    let t = self.clock;
+                    self.tracer.end("comm", "recv", t);
+                }
                 return env.payload;
             }
             match self.rx.recv_timeout(POLL) {
@@ -260,6 +327,11 @@ impl<'m> RankCtx<'m> {
         assert!(tag < COLL_TAG, "user tag too large");
         let src_g = comm.global_rank(src);
         let cid = comm.id();
+        if self.tracer.enabled() {
+            let t = self.clock;
+            self.tracer
+                .begin_with_args("comm", "recv_idle", t, &[("src", src_g as f64)]);
+        }
         loop {
             if let Some(pos) = self
                 .pending
@@ -274,6 +346,10 @@ impl<'m> RankCtx<'m> {
                     self.clock = env.arrival;
                 }
                 self.busy(o, ActivityKind::Comm, 0);
+                if self.tracer.enabled() {
+                    let t = self.clock;
+                    self.tracer.end("comm", "recv_idle", t);
+                }
                 return env.payload.expect_f64();
             }
             match self.rx.recv_timeout(POLL) {
@@ -344,9 +420,11 @@ impl<'m> RankCtx<'m> {
     /// `MPI_Barrier`: blocks until every member arrives; all leave at
     /// `max(arrival) + α·⌈log₂ P⌉`.
     pub fn barrier(&mut self, comm: &Comm) {
+        self.trace_begin("coll", "barrier");
         let p = comm.size();
         if p == 1 {
             self.next_seq(comm.id());
+            self.trace_end("coll", "barrier");
             return;
         }
         let cost =
@@ -354,11 +432,13 @@ impl<'m> RankCtx<'m> {
         let seq = self.next_seq(comm.id());
         let release = self.registry.barrier(comm.id(), seq, p, self.clock, cost);
         self.busy_until(release, ActivityKind::Comm);
+        self.trace_end("coll", "barrier");
     }
 
     /// `MPI_Comm_split`: partition `comm` by `color`, ordering each new
     /// communicator by `(key, global rank)`.
     pub fn split(&mut self, comm: &Comm, color: u64, key: u64) -> Comm {
+        self.trace_begin("coll", "comm_split");
         let p = comm.size();
         let cost = self.coll_alpha(comm) * (p as f64).log2().ceil().max(1.0)
             + self.spec.net.per_message_overhead_s;
@@ -367,6 +447,7 @@ impl<'m> RankCtx<'m> {
             .registry
             .split(comm.id(), seq, p, self.rank, color, key, self.clock, cost);
         self.busy_until(out.release_t, ActivityKind::Comm);
+        self.trace_end("coll", "comm_split");
         Comm::new(out.comm_id, out.members, out.my_index)
     }
 

@@ -22,6 +22,11 @@
 //! `MPI_Comm_split_type(MPI_COMM_TYPE_SHARED)` → [`RankCtx::split_shared`],
 //! `MPI_Barrier` → [`RankCtx::barrier`], plus broadcast/reduce/gather and
 //! matched-pair send/recv.
+//!
+//! The runtime is instrumented with [`greenla_trace`] spans (compute,
+//! point-to-point, every collective). Attach a sink with
+//! [`Machine::with_trace`] to record them; tracing only *observes* the
+//! virtual clocks, so traced and untraced runs have identical timings.
 
 pub mod coll;
 pub mod comm;
@@ -35,5 +40,6 @@ pub mod traffic;
 pub use comm::Comm;
 pub use context::RankCtx;
 pub use error::MachineError;
+pub use greenla_trace::{EventKind, TraceEvent, TraceSink};
 pub use machine::{Machine, RunOutput};
 pub use traffic::{Traffic, TrafficSnapshot};

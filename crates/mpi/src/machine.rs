@@ -10,6 +10,7 @@ use greenla_cluster::ledger::Ledger;
 use greenla_cluster::placement::Placement;
 use greenla_cluster::spec::ClusterSpec;
 use greenla_cluster::PowerModel;
+use greenla_trace::TraceSink;
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::Arc;
@@ -22,6 +23,7 @@ pub struct Machine {
     seed: u64,
     ledger: Arc<Ledger>,
     traffic: Arc<Traffic>,
+    trace: TraceSink,
 }
 
 /// What a completed run produced.
@@ -62,7 +64,26 @@ impl Machine {
             seed,
             ledger,
             traffic: Arc::new(Traffic::new()),
+            trace: TraceSink::disabled(),
         })
+    }
+
+    /// Attach an event-trace sink. Tracing only observes the virtual
+    /// clocks — it never advances them — so a traced run produces
+    /// bit-identical timings to an untraced one.
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.trace = sink;
+    }
+
+    /// Builder-style [`Machine::set_trace`].
+    pub fn with_trace(mut self, sink: TraceSink) -> Self {
+        self.trace = sink;
+        self
+    }
+
+    /// The attached trace sink (disabled by default).
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
     }
 
     /// The activity ledger (shared; energy layers read it during and after
@@ -96,6 +117,28 @@ impl Machine {
     ///
     /// Panics if any rank panics (after poisoning the run so the remaining
     /// ranks unblock), propagating the first rank's panic payload.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use greenla_cluster::placement::{LoadLayout, Placement};
+    /// use greenla_cluster::spec::ClusterSpec;
+    /// use greenla_cluster::PowerModel;
+    /// use greenla_mpi::Machine;
+    ///
+    /// let spec = ClusterSpec::test_cluster(1, 4); // one node, 2×4 cores
+    /// let placement = Placement::layout(&spec.node, 8, LoadLayout::FullLoad).unwrap();
+    /// let machine = Machine::new(spec, placement, PowerModel::deterministic(), 1).unwrap();
+    ///
+    /// let out = machine.run(|ctx| {
+    ///     let world = ctx.world();
+    ///     ctx.compute(1_000_000, 0); // charge virtual time for 1 Mflop
+    ///     ctx.allreduce_sum_f64(&world, &[1.0])[0]
+    /// });
+    ///
+    /// assert!(out.results.iter().all(|&r| r == 8.0));
+    /// assert!(out.makespan > 0.0); // virtual seconds, not wall time
+    /// ```
     pub fn run<R, F>(&self, f: F) -> RunOutput<R>
     where
         R: Send,
@@ -127,6 +170,7 @@ impl Machine {
                 let f = &f;
                 let core = self.placement.core_of(rank);
                 let perf_mult = self.power.perf_multiplier(self.seed, core.node);
+                let tracer = self.trace.tracer(rank, core.node);
                 scope.spawn(move || {
                     let mut ctx = RankCtx {
                         rank,
@@ -146,6 +190,7 @@ impl Machine {
                         pending: Vec::new(),
                         seqs: Default::default(),
                         world_members,
+                        tracer,
                     };
                     match catch_unwind(AssertUnwindSafe(|| f(&mut ctx))) {
                         Ok(r) => {

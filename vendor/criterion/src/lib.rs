@@ -1,0 +1,228 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Keeps the workspace's bench targets compiling and runnable without the
+//! real statistical harness: each benchmark runs a short warm-up plus a
+//! fixed number of timed passes and prints the mean wall-clock time per
+//! iteration (with throughput when configured). No outlier rejection, no
+//! HTML reports — `cargo bench` output is indicative, not rigorous.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Passes timed per benchmark (the real crate resamples adaptively).
+const TIMED_PASSES: u64 = 5;
+
+/// Drives one benchmark's closure (`criterion::Bencher` subset).
+pub struct Bencher {
+    iters: u64,
+    elapsed_s: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed_s = start.elapsed().as_secs_f64();
+    }
+}
+
+/// Benchmark identifier (`criterion::BenchmarkId` subset).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        Self {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        Self { label }
+    }
+}
+
+/// Throughput annotation (`criterion::Throughput` subset).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Top-level driver (`criterion::Criterion` subset).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        run_benchmark("", &id.into().label, None, f);
+    }
+}
+
+/// A named group of related benchmarks (`criterion::BenchmarkGroup` subset).
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in's pass count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        run_benchmark(&self.name, &id.into().label, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_benchmark(&self.name, &id.label, self.throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    group: &str,
+    label: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let full = if group.is_empty() {
+        label.to_string()
+    } else {
+        format!("{group}/{label}")
+    };
+    // Warm-up pass, untimed.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed_s: 0.0,
+    };
+    f(&mut bencher);
+    let mut total_s = 0.0;
+    let mut total_iters = 0u64;
+    for _ in 0..TIMED_PASSES {
+        bencher.elapsed_s = 0.0;
+        f(&mut bencher);
+        total_s += bencher.elapsed_s;
+        total_iters += bencher.iters;
+    }
+    let per_iter_s = if total_iters > 0 {
+        total_s / total_iters as f64
+    } else {
+        0.0
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per_iter_s > 0.0 => {
+            format!("  {:.3e} elem/s", n as f64 / per_iter_s)
+        }
+        Some(Throughput::Bytes(n)) if per_iter_s > 0.0 => {
+            format!("  {:.3e} B/s", n as f64 / per_iter_s)
+        }
+        _ => String::new(),
+    };
+    println!("bench {full}: {}{rate}", format_duration(per_iter_s));
+}
+
+fn format_duration(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// `criterion_group!(name, target, ...)` — the plain form only.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// `criterion_main!(group, ...)`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(10);
+        g.throughput(Throughput::Elements(4));
+        let mut ran = 0u32;
+        g.bench_with_input(BenchmarkId::new("sum", 4), &[1u64, 2, 3, 4][..], |b, xs| {
+            b.iter(|| xs.iter().sum::<u64>());
+            ran += 1;
+        });
+        g.finish();
+        // Warm-up + timed passes.
+        assert_eq!(ran, 1 + TIMED_PASSES as u32);
+    }
+
+    #[test]
+    fn macros_compose_into_a_main() {
+        fn bench_nothing(c: &mut Criterion) {
+            c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        }
+        criterion_group!(benches, bench_nothing);
+        benches();
+    }
+}

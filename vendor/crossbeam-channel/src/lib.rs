@@ -1,0 +1,53 @@
+//! Offline stand-in for the `crossbeam-channel` crate (see
+//! `vendor/README.md`).
+//!
+//! The workspace only uses unbounded MPSC channels with
+//! `send`/`recv`/`recv_timeout`/`try_recv`, which `std::sync::mpsc`
+//! provides under identical names and semantics (std's `Sender` has been
+//! `Sync` since Rust 1.72, so sharing `Arc<Vec<Sender<_>>>` across rank
+//! threads works exactly as with crossbeam).
+
+pub use std::sync::mpsc::{Receiver, RecvError, RecvTimeoutError, SendError, Sender, TryRecvError};
+
+/// Create an unbounded channel (`crossbeam_channel::unbounded` API).
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    std::sync::mpsc::channel()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn roundtrip_and_timeout() {
+        let (tx, rx) = unbounded();
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), 7);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn senders_are_shareable_across_threads() {
+        let (tx, rx) = unbounded::<usize>();
+        let txs = std::sync::Arc::new(vec![tx]);
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let txs = std::sync::Arc::clone(&txs);
+                s.spawn(move || txs[0].send(i).unwrap());
+            }
+        });
+        drop(txs);
+        let mut got: Vec<usize> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,368 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! Generates `serde::Serialize` / `serde::Deserialize` impls against the
+//! vendored serde's `Value` data model. Parses the item with plain
+//! `proc_macro` tokens (no `syn`/`quote`, which are unavailable offline)
+//! and therefore supports exactly the shapes this workspace uses:
+//!
+//! * structs with named fields;
+//! * enums whose variants are units or have named fields
+//!   (externally-tagged encoding, like upstream's default);
+//! * the `#[serde(default = "path")]` field attribute.
+//!
+//! Generics, tuple structs/variants and other serde attributes are
+//! rejected at compile time with a clear panic message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    /// Function path from `#[serde(default = "path")]`, if present.
+    default_fn: Option<String>,
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(fields)` for struct variants.
+    fields: Option<Vec<Field>>,
+}
+
+enum Body {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item.body {
+        Body::Struct(fields) => gen_struct_serialize(&item.name, fields),
+        Body::Enum(variants) => gen_enum_serialize(&item.name, variants),
+    };
+    src.parse().expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item.body {
+        Body::Struct(fields) => gen_struct_deserialize(&item.name, fields),
+        Body::Enum(variants) => gen_enum_deserialize(&item.name, variants),
+    };
+    src.parse().expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let kind = expect_ident(&mut iter, "expected `struct` or `enum`");
+    let name = expect_ident(&mut iter, "expected type name");
+    let body_group = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("vendored serde_derive does not support generic types (deriving `{name}`)")
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                panic!("vendored serde_derive does not support tuple/unit structs (deriving `{name}`)")
+            }
+            Some(_) => continue,
+            None => panic!("expected a braced body deriving `{name}`"),
+        }
+    };
+    let body = match kind.as_str() {
+        "struct" => Body::Struct(parse_fields(body_group.stream(), &name)),
+        "enum" => Body::Enum(parse_variants(body_group.stream(), &name)),
+        other => panic!("vendored serde_derive only handles structs and enums, got `{other}`"),
+    };
+    Item { name, body }
+}
+
+fn skip_attrs_and_vis(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next(); // pub(crate) and friends
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn expect_ident(
+    iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+    what: &str,
+) -> String {
+    match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("{what}, got {other:?}"),
+    }
+}
+
+/// Collect attributes preceding a field/variant, returning the
+/// `default = "path"` function if a `#[serde(...)]` attribute carries one.
+fn take_attrs(iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> Option<String> {
+    let mut default_fn = None;
+    while let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        iter.next();
+        let Some(TokenTree::Group(attr)) = iter.next() else {
+            panic!("`#` must be followed by a bracketed attribute")
+        };
+        let mut inner = attr.stream().into_iter();
+        match inner.next() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {
+                let Some(TokenTree::Group(args)) = inner.next() else {
+                    panic!("expected `#[serde(...)]` arguments")
+                };
+                default_fn = parse_serde_attr(args.stream());
+            }
+            _ => {} // doc comments and other attributes: ignore
+        }
+    }
+    default_fn
+}
+
+/// Parse the inside of `#[serde(...)]`. Only `default = "path"` is
+/// understood; anything else is rejected so drift is loud, not silent.
+fn parse_serde_attr(stream: TokenStream) -> Option<String> {
+    let mut iter = stream.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "default" => {}
+        other => panic!("vendored serde_derive only supports `#[serde(default = \"path\")]`, got {other:?}"),
+    }
+    match iter.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '=' => {}
+        other => panic!("expected `=` in `#[serde(default = ...)]`, got {other:?}"),
+    }
+    match iter.next() {
+        Some(TokenTree::Literal(lit)) => {
+            let s = lit.to_string();
+            Some(s.trim_matches('"').to_string())
+        }
+        other => panic!("expected a string literal in `#[serde(default = ...)]`, got {other:?}"),
+    }
+}
+
+fn parse_fields(stream: TokenStream, ty: &str) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        if iter.peek().is_none() {
+            break;
+        }
+        let default_fn = take_attrs(&mut iter);
+        // Visibility.
+        if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    iter.next();
+                }
+            }
+        }
+        let name = expect_ident(&mut iter, &format!("expected field name in `{ty}`"));
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{ty}::{name}`, got {other:?}"),
+        }
+        // Skip the type: commas nested in <...> must not terminate the
+        // field, so track angle-bracket depth (parens/brackets/braces are
+        // already nested groups at the token level).
+        let mut angle_depth = 0i32;
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    angle_depth += 1;
+                    iter.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle_depth -= 1;
+                    iter.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    iter.next();
+                    break;
+                }
+                Some(_) => {
+                    iter.next();
+                }
+                None => break,
+            }
+        }
+        fields.push(Field { name, default_fn });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream, ty: &str) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    loop {
+        if iter.peek().is_none() {
+            break;
+        }
+        take_attrs(&mut iter);
+        let name = expect_ident(&mut iter, &format!("expected variant name in `{ty}`"));
+        let fields = match iter.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner = g.stream();
+                iter.next();
+                Some(parse_fields(inner, ty))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("vendored serde_derive does not support tuple variants (`{ty}::{name}`)")
+            }
+            _ => None,
+        };
+        if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            iter.next();
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+/// Expression serialising named fields reachable as `{access}name` into a
+/// `serde::Value::Object`.
+fn fields_to_object(fields: &[Field], access: &str) -> String {
+    let mut src = String::from("{ let mut __fields: Vec<(String, serde::Value)> = Vec::new();\n");
+    for f in fields {
+        let n = &f.name;
+        src.push_str(&format!(
+            "__fields.push((\"{n}\".to_string(), serde::Serialize::to_value(&{access}{n})));\n"
+        ));
+    }
+    src.push_str("serde::Value::Object(__fields) }");
+    src
+}
+
+/// Expression deserialising named fields out of `__pairs`
+/// (`&[(String, serde::Value)]`) into a `Name { ... }` literal.
+fn object_to_fields(constructor: &str, fields: &[Field], ty: &str) -> String {
+    let mut src = format!("{constructor} {{\n");
+    for f in fields {
+        let n = &f.name;
+        let missing = match &f.default_fn {
+            Some(path) => format!("{path}()"),
+            None => format!(
+                "match <_ as serde::Deserialize>::absent() {{ Some(__d) => __d, None => return Err(serde::Error::custom(\"missing field `{n}` in `{ty}`\")) }}"
+            ),
+        };
+        src.push_str(&format!(
+            "{n}: match __pairs.iter().find(|(__k, _)| __k.as_str() == \"{n}\") {{ Some((_, __fv)) => serde::Deserialize::from_value(__fv)?, None => {missing} }},\n"
+        ));
+    }
+    src.push('}');
+    src
+}
+
+fn gen_struct_serialize(name: &str, fields: &[Field]) -> String {
+    let body = fields_to_object(fields, "self.");
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}\n"
+    )
+}
+
+fn gen_struct_deserialize(name: &str, fields: &[Field]) -> String {
+    let build = object_to_fields("Self", fields, name);
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &serde::Value) -> std::result::Result<Self, serde::Error> {{\n\
+         let __pairs = match __v {{ serde::Value::Object(__p) => __p, _ => return Err(serde::Error::custom(\"expected object for `{name}`\")) }};\n\
+         Ok({build})\n\
+         }}\n\
+         }}\n"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            None => arms.push_str(&format!(
+                "{name}::{vn} => serde::Value::Str(\"{vn}\".to_string()),\n"
+            )),
+            Some(fields) => {
+                let bindings: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let pat = bindings.join(", ");
+                let obj = fields_to_object(fields, "*");
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {pat} }} => serde::Value::Object(vec![(\"{vn}\".to_string(), {obj})]),\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::Value {{ match self {{ {arms} }} }}\n\
+         }}\n"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut tagged_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            None => unit_arms.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n")),
+            Some(fields) => {
+                let build = object_to_fields(&format!("{name}::{vn}"), fields, name);
+                tagged_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                     let __pairs = match __inner {{ serde::Value::Object(__p) => __p, _ => return Err(serde::Error::custom(\"expected object payload for `{name}::{vn}`\")) }};\n\
+                     Ok({build})\n\
+                     }}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &serde::Value) -> std::result::Result<Self, serde::Error> {{\n\
+         match __v {{\n\
+         serde::Value::Str(__s) => match __s.as_str() {{\n\
+         {unit_arms}\
+         __other => Err(serde::Error::custom(format!(\"unknown `{name}` variant `{{__other}}`\"))),\n\
+         }},\n\
+         serde::Value::Object(__tagged) if __tagged.len() == 1 => {{\n\
+         let (__tag, __inner) = &__tagged[0];\n\
+         match __tag.as_str() {{\n\
+         {tagged_arms}\
+         __other => Err(serde::Error::custom(format!(\"unknown `{name}` variant `{{__other}}`\"))),\n\
+         }}\n\
+         }},\n\
+         _ => Err(serde::Error::custom(\"expected string or single-key object for `{name}`\")),\n\
+         }}\n\
+         }}\n\
+         }}\n"
+    )
+}
