@@ -38,7 +38,7 @@ fn bench_blas2(c: &mut Criterion) {
         let mut y = vec![0.0; n];
         g.throughput(Throughput::Elements((n * n) as u64));
         g.bench_with_input(BenchmarkId::new("dgemv", n), &n, |b, _| {
-            b.iter(|| blas2::dgemv(n, n, 1.0, a.as_slice(), n, &x, 0.0, &mut y))
+            b.iter(|| blas2::dgemv(1.0, a.block(), &x, 0.0, &mut y))
         });
         let mut a2 = a.clone();
         g.bench_with_input(BenchmarkId::new("dger", n), &n, |b, _| {
@@ -60,21 +60,7 @@ fn bench_blas3(c: &mut Criterion) {
         let mut cm = Matrix::zeros(n, n);
         g.throughput(Throughput::Elements(2 * (n * n * n) as u64));
         g.bench_with_input(BenchmarkId::new("dgemm", n), &n, |bch, _| {
-            bch.iter(|| {
-                blas3::dgemm(
-                    n,
-                    n,
-                    n,
-                    1.0,
-                    a.as_slice(),
-                    n,
-                    b_m.as_slice(),
-                    n,
-                    0.0,
-                    cm.as_mut_slice(),
-                    n,
-                )
-            })
+            bch.iter(|| blas3::dgemm(1.0, a.block(), b_m.block(), 0.0, cm.block_mut()))
         });
     }
     g.finish();

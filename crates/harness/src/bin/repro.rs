@@ -7,6 +7,9 @@
 //!       [--smoke]                        (tiny grid for CI)
 //!       [--out DIR]                      (default: results)
 //!       [--trace-out PATH]               (Chrome Trace JSON of one traced solve)
+//!       [--check]                        (run the campaign under the MPI
+//!                                         correctness checker; nonzero exit
+//!                                         on any diagnostic)
 //! ```
 //!
 //! Functional-tier figures come from real monitored solves on the scaled
@@ -29,6 +32,7 @@ struct Args {
     smoke: bool,
     out: PathBuf,
     trace_out: Option<PathBuf>,
+    check: bool,
 }
 
 fn parse_args() -> Args {
@@ -39,6 +43,7 @@ fn parse_args() -> Args {
         smoke: false,
         out: PathBuf::from("results"),
         trace_out: None,
+        check: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -53,12 +58,13 @@ fn parse_args() -> Args {
                     .expect("reps")
             }
             "--smoke" => args.smoke = true,
+            "--check" => args.check = true,
             "--out" => args.out = PathBuf::from(it.next().expect("--out needs a value")),
             "--trace-out" => {
                 args.trace_out = Some(PathBuf::from(it.next().expect("--trace-out needs a value")))
             }
             "--help" | "-h" => {
-                println!("usage: repro [--exp all|table1|fig3..fig7|summary|overhead|powercap|trace] [--tier functional|model|both] [--reps N] [--smoke] [--out DIR] [--trace-out PATH]");
+                println!("usage: repro [--exp all|table1|fig3..fig7|summary|overhead|powercap|trace] [--tier functional|model|both] [--reps N] [--smoke] [--out DIR] [--trace-out PATH] [--check]");
                 std::process::exit(0);
             }
             other => {
@@ -84,11 +90,13 @@ fn main() {
     let wants = |e: &str| args.exp == "all" || args.exp == e;
     let t0 = Instant::now();
 
-    // Experiments that need the measurement campaign.
+    // Experiments that need the measurement campaign (--check alone also
+    // runs it: the campaign is what gets checked).
     let needs_data = functional
-        && ["fig3", "fig4", "fig5", "fig6", "fig7", "summary"]
-            .iter()
-            .any(|e| wants(e));
+        && (args.check
+            || ["fig3", "fig4", "fig5", "fig6", "fig7", "summary"]
+                .iter()
+                .any(|e| wants(e)));
     let dataset: Option<Dataset> = needs_data.then(|| {
         let mut grid = if args.smoke {
             FunctionalGrid::smoke()
@@ -96,9 +104,13 @@ fn main() {
             FunctionalGrid::default()
         };
         grid.reps = args.reps;
+        grid.check = args.check;
         eprintln!(
-            "running functional campaign: dims {:?} × ranks {:?} × 3 layouts × 2 solvers × {} reps",
-            grid.dims, grid.ranks, grid.reps
+            "running functional campaign: dims {:?} × ranks {:?} × 3 layouts × 2 solvers × {} reps{}",
+            grid.dims,
+            grid.ranks,
+            grid.reps,
+            if grid.check { " [checked]" } else { "" }
         );
         let ds = Dataset::campaign(&grid, |msg| {
             eprintln!("  [{:6.1}s] {msg}", t0.elapsed().as_secs_f64())
@@ -106,6 +118,30 @@ fn main() {
         write_json(&args.out, "dataset.json", &ds).expect("write dataset");
         ds
     });
+
+    if args.check {
+        let ds = dataset.as_ref().expect("--check implies a campaign");
+        let diags: Vec<String> = ds
+            .violations()
+            .map(|(p, v)| {
+                format!(
+                    "{} n={} ranks={} layout={}: {v}",
+                    p.solver, p.n, p.ranks, p.layout
+                )
+            })
+            .collect();
+        for d in &diags {
+            eprintln!("VIOLATION {d}");
+        }
+        eprintln!(
+            "checker: {} violation(s) across {} grid point(s)",
+            diags.len(),
+            ds.points.len()
+        );
+        if !diags.is_empty() {
+            std::process::exit(1);
+        }
+    }
 
     if wants("table1") {
         let t = exp::table1();

@@ -39,7 +39,12 @@ use std::sync::Arc;
 pub const COUNTER_SAMPLES: usize = 64;
 
 fn obj(fields: Vec<(&str, Value)>) -> Value {
-    Value::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
 }
 
 fn args_obj(args: &[(&'static str, f64)]) -> Value {
@@ -106,8 +111,12 @@ pub fn chrome_trace_json(
             let mut pkg = 0.0;
             let mut dram = 0.0;
             for socket in 0..rapl.sockets_per_node() {
-                pkg += rapl.ground_truth_j(node, socket, Domain::Package, t).unwrap_or(0.0);
-                dram += rapl.ground_truth_j(node, socket, Domain::Dram, t).unwrap_or(0.0);
+                pkg += rapl
+                    .ground_truth_j(node, socket, Domain::Package, t)
+                    .unwrap_or(0.0);
+                dram += rapl
+                    .ground_truth_j(node, socket, Domain::Dram, t)
+                    .unwrap_or(0.0);
             }
             out.push(obj(vec![
                 ("name", Value::Str("energy (J)".into())),
@@ -116,7 +125,10 @@ pub fn chrome_trace_json(
                 ("pid", Value::U64(node as u64)),
                 (
                     "args",
-                    obj(vec![("pkg_j", Value::F64(pkg)), ("dram_j", Value::F64(dram))]),
+                    obj(vec![
+                        ("pkg_j", Value::F64(pkg)),
+                        ("dram_j", Value::F64(dram)),
+                    ]),
                 ),
             ]));
         }

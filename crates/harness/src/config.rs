@@ -82,6 +82,15 @@ pub struct FunctionalGrid {
     pub reps: usize,
     pub cores_per_socket: usize,
     pub base_seed: u64,
+    /// Run every configuration under the greenla-check correctness sink
+    /// and record its diagnostics in the dataset.
+    #[serde(default = "default_false")]
+    pub check: bool,
+}
+
+/// Serde default for opt-in boolean knobs.
+pub(crate) fn default_false() -> bool {
+    false
 }
 
 impl Default for FunctionalGrid {
@@ -93,6 +102,7 @@ impl Default for FunctionalGrid {
             reps: 3,
             cores_per_socket: 4,
             base_seed: 2023,
+            check: false,
         }
     }
 }

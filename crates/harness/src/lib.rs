@@ -21,8 +21,8 @@ pub mod chrome_trace;
 pub mod config;
 pub mod experiments;
 pub mod output;
-pub mod powercap;
 pub mod power_trace;
+pub mod powercap;
 pub mod run;
 pub mod summary;
 

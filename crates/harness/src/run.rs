@@ -2,7 +2,7 @@
 //! repeated and aggregated the way the paper runs its jobs (ten
 //! repetitions per configuration; we default to fewer but keep the knob).
 
-use crate::config::{FunctionalGrid, SolverChoice};
+use crate::config::{default_false, FunctionalGrid, SolverChoice};
 use greenla_cluster::placement::{LoadLayout, Placement};
 use greenla_cluster::spec::ClusterSpec;
 use greenla_cluster::PowerModel;
@@ -11,7 +11,7 @@ use greenla_linalg::generate::{LinearSystem, SystemKind};
 use greenla_monitor::monitoring::MonitorConfig;
 use greenla_monitor::protocol::monitored_run;
 use greenla_monitor::report::{JobSummary, NodeReport};
-use greenla_mpi::Machine;
+use greenla_mpi::{CheckSink, Machine, Violation};
 use greenla_rapl::RaplSim;
 use greenla_scalapack::pdgesv::pdgesv;
 use serde::{Deserialize, Serialize};
@@ -27,6 +27,14 @@ pub struct RunConfig {
     pub system: SystemKind,
     pub cores_per_socket: usize,
     pub seed: u64,
+    /// Attach the greenla-check correctness sink to the run.
+    #[serde(default = "default_false")]
+    pub check: bool,
+}
+
+/// Serde default for the violations carried by older datasets.
+fn no_violations() -> Vec<Violation> {
+    Vec::new()
 }
 
 /// What one monitored run measured (the union of the figures' axes).
@@ -43,6 +51,10 @@ pub struct Measurement {
     pub msgs: u64,
     pub volume_elems: u64,
     pub nodes: usize,
+    /// Checker diagnostics (empty unless the run was checked — and for a
+    /// correct solver, empty even then).
+    #[serde(default = "no_violations")]
+    pub violations: Vec<Violation>,
 }
 
 /// Execute one configuration end to end: build the scaled cluster, run the
@@ -59,7 +71,10 @@ pub fn run_once(cfg: &RunConfig) -> Measurement {
         net: greenla_cluster::Interconnect::omni_path(),
     };
     let power = PowerModel::scaled_for(&node);
-    let machine = Machine::new(spec, placement, power, cfg.seed).expect("valid machine");
+    let mut machine = Machine::new(spec, placement, power, cfg.seed).expect("valid machine");
+    if cfg.check {
+        machine.set_check(CheckSink::enabled());
+    }
     let rapl = Arc::new(RaplSim::new(
         machine.ledger(),
         machine.power().clone(),
@@ -107,6 +122,7 @@ pub fn run_once(cfg: &RunConfig) -> Measurement {
         msgs: out.traffic.msgs,
         volume_elems: out.traffic.volume_elems(),
         nodes,
+        violations: machine.check().violations(),
     }
 }
 
@@ -184,6 +200,9 @@ pub struct DataPoint {
     pub ranks: usize,
     pub layout: LoadLayout,
     pub agg: Aggregated,
+    /// Checker diagnostics across all repetitions of this point.
+    #[serde(default = "no_violations")]
+    pub violations: Vec<Violation>,
 }
 
 /// The full functional-tier dataset all figures slice.
@@ -210,33 +229,34 @@ impl Dataset {
                 }
             }
         }
-        let points: Vec<DataPoint> =
-            parallel_map(&configs, |&(n, ranks, layout, solver)| {
-                progress(&format!(
-                    "n={n} ranks={ranks} layout={layout} solver={}",
-                    solver.label()
-                ));
-                let runs: Vec<Measurement> = (0..grid.reps)
-                    .map(|rep| {
-                        run_once(&RunConfig {
-                            n,
-                            ranks,
-                            layout,
-                            solver,
-                            system: SystemKind::DiagDominant,
-                            cores_per_socket: grid.cores_per_socket,
-                            seed: grid.base_seed + rep as u64,
-                        })
+        let points: Vec<DataPoint> = parallel_map(&configs, |&(n, ranks, layout, solver)| {
+            progress(&format!(
+                "n={n} ranks={ranks} layout={layout} solver={}",
+                solver.label()
+            ));
+            let runs: Vec<Measurement> = (0..grid.reps)
+                .map(|rep| {
+                    run_once(&RunConfig {
+                        n,
+                        ranks,
+                        layout,
+                        solver,
+                        system: SystemKind::DiagDominant,
+                        cores_per_socket: grid.cores_per_socket,
+                        seed: grid.base_seed + rep as u64,
+                        check: grid.check,
                     })
-                    .collect();
-                DataPoint {
-                    solver: solver.label().to_string(),
-                    n,
-                    ranks,
-                    layout,
-                    agg: Aggregated::from_runs(&runs),
-                }
-            });
+                })
+                .collect();
+            DataPoint {
+                solver: solver.label().to_string(),
+                n,
+                ranks,
+                layout,
+                agg: Aggregated::from_runs(&runs),
+                violations: runs.iter().flat_map(|m| m.violations.clone()).collect(),
+            }
+        });
         Dataset { points }
     }
 
@@ -251,6 +271,14 @@ impl Dataset {
         self.points
             .iter()
             .find(|p| p.solver == solver && p.n == n && p.ranks == ranks && p.layout == layout)
+    }
+
+    /// Every checker diagnostic in the dataset, paired with the grid point
+    /// that produced it.
+    pub fn violations(&self) -> impl Iterator<Item = (&DataPoint, &Violation)> {
+        self.points
+            .iter()
+            .flat_map(|p| p.violations.iter().map(move |v| (p, v)))
     }
 }
 

@@ -1,0 +1,78 @@
+//! The measurement campaign under the correctness checker: both solvers'
+//! real MPI choreography must be violation-free, and attaching the checker
+//! must not perturb a single bit of the measured timings or energies.
+
+use greenla_cluster::placement::LoadLayout;
+use greenla_harness::config::FunctionalGrid;
+use greenla_harness::run::{run_once, Dataset, RunConfig};
+use greenla_harness::SolverChoice;
+use greenla_linalg::generate::SystemKind;
+
+fn tiny_grid(check: bool) -> FunctionalGrid {
+    FunctionalGrid {
+        dims: vec![96],
+        ranks: vec![16],
+        layouts: vec![LoadLayout::FullLoad],
+        reps: 1,
+        check,
+        ..FunctionalGrid::default()
+    }
+}
+
+#[test]
+fn checked_campaign_reports_zero_violations() {
+    let ds = Dataset::campaign(&tiny_grid(true), |_| {});
+    assert_eq!(ds.points.len(), 2, "IMe and ScaLAPACK");
+    for p in &ds.points {
+        assert!(
+            p.violations.is_empty(),
+            "{} must be protocol-clean: {:#?}",
+            p.solver,
+            p.violations
+        );
+    }
+    assert_eq!(ds.violations().count(), 0);
+}
+
+#[test]
+fn checking_does_not_perturb_measurements() {
+    let cfg = |check: bool| RunConfig {
+        n: 96,
+        ranks: 16,
+        layout: LoadLayout::FullLoad,
+        solver: SolverChoice::ime_optimized(),
+        system: SystemKind::DiagDominant,
+        cores_per_socket: 4,
+        seed: 5,
+        check,
+    };
+    let checked = run_once(&cfg(true));
+    let plain = run_once(&cfg(false));
+    assert!(checked.violations.is_empty());
+    assert!(
+        plain.violations.is_empty(),
+        "sink disabled, nothing recorded"
+    );
+    assert_eq!(
+        checked.duration_s.to_bits(),
+        plain.duration_s.to_bits(),
+        "checker must be a pure observer of the virtual clock"
+    );
+    assert_eq!(
+        checked.total_energy_j.to_bits(),
+        plain.total_energy_j.to_bits()
+    );
+    assert_eq!(checked.msgs, plain.msgs);
+    assert_eq!(checked.volume_elems, plain.volume_elems);
+}
+
+#[test]
+fn dataset_with_violations_round_trips_through_serde() {
+    // Forward compatibility: datasets written before the checker existed
+    // (no `violations` field) still deserialize.
+    let ds = Dataset::campaign(&tiny_grid(false), |_| {});
+    let json = serde_json::to_string(&ds).unwrap();
+    let back: Dataset = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.points.len(), ds.points.len());
+    assert!(back.points.iter().all(|p| p.violations.is_empty()));
+}

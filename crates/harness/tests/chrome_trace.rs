@@ -30,7 +30,11 @@ fn export_is_deterministic_golden() {
     let a = serde_json::to_string_pretty(&export()).unwrap();
     let b = serde_json::to_string_pretty(&export()).unwrap();
     assert_eq!(a, b, "same run must export byte-identical JSON");
-    assert!(a.len() > 1000, "trace should be substantive: {} bytes", a.len());
+    assert!(
+        a.len() > 1000,
+        "trace should be substantive: {} bytes",
+        a.len()
+    );
 }
 
 #[test]
@@ -54,7 +58,10 @@ fn per_track_timestamps_are_monotone() {
         }
         last.insert(key, ts);
     }
-    assert!(span_events > 50, "expected a rich trace, got {span_events} events");
+    assert!(
+        span_events > 50,
+        "expected a rich trace, got {span_events} events"
+    );
     assert_eq!(last.len(), RANKS, "one span track per rank");
 }
 

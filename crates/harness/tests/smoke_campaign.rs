@@ -90,6 +90,7 @@ fn run_once_respects_layout_node_count() {
         system: SystemKind::DiagDominant,
         cores_per_socket: 4,
         seed: 1,
+        check: false,
     });
     assert_eq!(m.nodes, 4, "16 ranks at 4/node half-load = 4 nodes");
     assert!(m.residual < 1e-12);

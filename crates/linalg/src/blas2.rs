@@ -4,22 +4,13 @@
 //! blocked LU factorisation needs); [`crate::matrix::Matrix`] wrappers are
 //! provided where whole-matrix operation is more ergonomic.
 
+use crate::block::BlockRef;
 use crate::matrix::Matrix;
 
-/// `y ← α·A·x + β·y` for an `m × n` column-major block `a` with leading
-/// dimension `lda`.
-#[allow(clippy::too_many_arguments)] // the BLAS signature is what it is
-pub fn dgemv(
-    m: usize,
-    n: usize,
-    alpha: f64,
-    a: &[f64],
-    lda: usize,
-    x: &[f64],
-    beta: f64,
-    y: &mut [f64],
-) {
-    assert!(lda >= m.max(1), "lda too small");
+/// `y ← α·A·x + β·y` for an `m × n` column-major block view `a`.
+pub fn dgemv(alpha: f64, a: BlockRef, x: &[f64], beta: f64, y: &mut [f64]) {
+    let (m, n, lda) = (a.rows(), a.cols(), a.ld());
+    let a = a.data();
     assert!(x.len() >= n && y.len() >= m, "vector length mismatch");
     if beta != 1.0 {
         for yi in y[..m].iter_mut() {
@@ -38,19 +29,10 @@ pub fn dgemv(
     }
 }
 
-/// `y ← α·Aᵀ·x + β·y` for an `m × n` block (`y` has length `n`).
-#[allow(clippy::too_many_arguments)] // the BLAS signature is what it is
-pub fn dgemv_t(
-    m: usize,
-    n: usize,
-    alpha: f64,
-    a: &[f64],
-    lda: usize,
-    x: &[f64],
-    beta: f64,
-    y: &mut [f64],
-) {
-    assert!(lda >= m.max(1), "lda too small");
+/// `y ← α·Aᵀ·x + β·y` for an `m × n` block view (`y` has length `n`).
+pub fn dgemv_t(alpha: f64, a: BlockRef, x: &[f64], beta: f64, y: &mut [f64]) {
+    let (m, n, lda) = (a.rows(), a.cols(), a.ld());
+    let a = a.data();
     assert!(x.len() >= m && y.len() >= n, "vector length mismatch");
     for j in 0..n {
         let col = &a[j * lda..j * lda + m];
@@ -117,16 +99,7 @@ pub fn dtrsv_upper(n: usize, a: &[f64], lda: usize, x: &mut [f64]) {
 /// Whole-matrix convenience: `A·x`.
 pub fn matvec(a: &Matrix, x: &[f64]) -> Vec<f64> {
     let mut y = vec![0.0; a.rows()];
-    dgemv(
-        a.rows(),
-        a.cols(),
-        1.0,
-        a.as_slice(),
-        a.ld(),
-        x,
-        0.0,
-        &mut y,
-    );
+    dgemv(1.0, a.block(), x, 0.0, &mut y);
     y
 }
 
@@ -145,7 +118,7 @@ mod tests {
     fn dgemv_identity() {
         let a = Matrix::identity(3);
         let mut y = vec![0.0; 3];
-        dgemv(3, 3, 1.0, a.as_slice(), 3, &[1.0, 2.0, 3.0], 0.0, &mut y);
+        dgemv(1.0, a.block(), &[1.0, 2.0, 3.0], 0.0, &mut y);
         approx(&y, &[1.0, 2.0, 3.0]);
     }
 
@@ -153,7 +126,7 @@ mod tests {
     fn dgemv_beta_accumulates() {
         let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
         let mut y = vec![10.0, 20.0];
-        dgemv(2, 2, 2.0, a.as_slice(), 2, &[1.0, 1.0], 0.5, &mut y);
+        dgemv(2.0, a.block(), &[1.0, 1.0], 0.5, &mut y);
         approx(&y, &[7.0, 12.0]);
     }
 
@@ -161,7 +134,7 @@ mod tests {
     fn dgemv_t_transposes() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
         let mut y = vec![0.0; 2];
-        dgemv_t(2, 2, 1.0, a.as_slice(), 2, &[1.0, 1.0], 0.0, &mut y);
+        dgemv_t(1.0, a.block(), &[1.0, 1.0], 0.0, &mut y);
         approx(&y, &[4.0, 6.0]);
     }
 

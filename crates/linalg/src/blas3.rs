@@ -4,32 +4,29 @@
 //! it is the workhorse of the blocked LU trailing update. `dtrsm` implements
 //! the two variants the solvers need.
 
+use crate::block::{BlockMut, BlockRef};
+
 /// Cache-block edge for the `dgemm` loop nest (tuned for L1-resident panels
 /// of `f64`; 64×64×64 ≈ 96 KiB working set across three operands).
 const MC: usize = 64;
 const NC: usize = 64;
 const KC: usize = 64;
 
-/// `C ← α·A·B + β·C` with `A: m×k`, `B: k×n`, `C: m×n`, all column-major
-/// blocks with leading dimensions `lda`, `ldb`, `ldc`.
-#[allow(clippy::too_many_arguments)]
-pub fn dgemm(
-    m: usize,
-    n: usize,
-    k: usize,
-    alpha: f64,
-    a: &[f64],
-    lda: usize,
-    b: &[f64],
-    ldb: usize,
-    beta: f64,
-    c: &mut [f64],
-    ldc: usize,
-) {
+/// `C ← α·A·B + β·C` with `A: m×k`, `B: k×n`, `C: m×n` column-major views
+/// (see [`crate::block`]).
+pub fn dgemm(alpha: f64, a: BlockRef, b: BlockRef, beta: f64, mut c: BlockMut) {
+    let (m, n) = (c.rows(), c.cols());
+    let k = a.cols();
     assert!(
-        lda >= m.max(1) && ldb >= k.max(1) && ldc >= m.max(1),
-        "leading dims too small"
+        a.rows() == m && b.rows() == k && b.cols() == n,
+        "dgemm shape mismatch: ({}×{k}) · ({}×{}) → ({m}×{n})",
+        a.rows(),
+        b.rows(),
+        b.cols(),
     );
+    let (lda, ldb, ldc) = (a.ld(), b.ld(), c.ld());
+    let (a, b) = (a.data(), b.data());
+    let c = c.data_mut();
     if m == 0 || n == 0 {
         return;
     }
@@ -154,19 +151,7 @@ mod tests {
         let a = Matrix::from_fn(3, 4, |i, j| (i + 2 * j) as f64);
         let b = Matrix::from_fn(4, 2, |i, j| (i as f64) - (j as f64) * 0.5);
         let mut c = Matrix::zeros(3, 2);
-        dgemm(
-            3,
-            2,
-            4,
-            1.0,
-            a.as_slice(),
-            3,
-            b.as_slice(),
-            4,
-            0.0,
-            c.as_mut_slice(),
-            3,
-        );
+        dgemm(1.0, a.block(), b.block(), 0.0, c.block_mut());
         approx_mat(&c, &naive_mm(&a, &b), 1e-12);
     }
 
@@ -176,19 +161,7 @@ mod tests {
         let a = Matrix::from_fn(n, n, |i, j| ((i * 7 + j * 13) % 17) as f64 - 8.0);
         let b = Matrix::from_fn(n, n, |i, j| ((i * 3 + j * 5) % 11) as f64 - 5.0);
         let mut c = Matrix::zeros(n, n);
-        dgemm(
-            n,
-            n,
-            n,
-            1.0,
-            a.as_slice(),
-            n,
-            b.as_slice(),
-            n,
-            0.0,
-            c.as_mut_slice(),
-            n,
-        );
+        dgemm(1.0, a.block(), b.block(), 0.0, c.block_mut());
         approx_mat(&c, &naive_mm(&a, &b), 1e-9);
     }
 
@@ -197,19 +170,7 @@ mod tests {
         let a = Matrix::identity(2);
         let b = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
         let mut c = Matrix::from_rows(&[&[10.0, 10.0], &[10.0, 10.0]]);
-        dgemm(
-            2,
-            2,
-            2,
-            2.0,
-            a.as_slice(),
-            2,
-            b.as_slice(),
-            2,
-            0.5,
-            c.as_mut_slice(),
-            2,
-        );
+        dgemm(2.0, a.block(), b.block(), 0.5, c.block_mut());
         assert_eq!(c[(0, 0)], 7.0);
         assert_eq!(c[(1, 1)], 13.0);
     }
@@ -223,17 +184,11 @@ mod tests {
         // A block at (1,1), B block at (0,0)
         let a_off = 1 + 4; // (1,1) col-major in 4x4
         dgemm(
-            2,
-            2,
-            2,
             1.0,
-            &big_a.as_slice()[a_off..],
-            4,
-            big_b.as_slice(),
-            4,
+            BlockRef::new(&big_a.as_slice()[a_off..], 2, 2, 4),
+            BlockRef::new(big_b.as_slice(), 2, 2, 4),
             0.0,
-            c.as_mut_slice(),
-            2,
+            c.block_mut(),
         );
         assert_eq!(c[(0, 0)], big_a[(1, 1)]);
         assert_eq!(c[(1, 1)], big_a[(2, 2)]);

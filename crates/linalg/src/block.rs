@@ -1,0 +1,131 @@
+//! Borrowed column-major sub-matrix views.
+//!
+//! A [`BlockRef`]/[`BlockMut`] bundles the `(data, rows, cols, ld)` quadruple
+//! that every level-2/3 BLAS routine needs, so kernel signatures carry one
+//! argument per operand instead of three. Construction validates the
+//! geometry once — `ld` must cover the row count and the slice must cover
+//! the last column — after which kernels can index `data[i + j * ld]`
+//! without re-checking.
+
+/// Minimum slice length for an `rows × cols` block with leading dim `ld`.
+fn span(rows: usize, cols: usize, ld: usize) -> usize {
+    if cols == 0 || rows == 0 {
+        0
+    } else {
+        ld * (cols - 1) + rows
+    }
+}
+
+fn check_geometry(len: usize, rows: usize, cols: usize, ld: usize) {
+    assert!(ld >= rows.max(1), "leading dim {ld} < rows {rows}");
+    assert!(
+        len >= span(rows, cols, ld),
+        "slice of {len} too short for a {rows}×{cols} block with ld {ld}"
+    );
+}
+
+/// Shared view of an `rows × cols` column-major block inside a larger
+/// buffer with leading dimension `ld`.
+#[derive(Clone, Copy)]
+pub struct BlockRef<'a> {
+    data: &'a [f64],
+    rows: usize,
+    cols: usize,
+    ld: usize,
+}
+
+impl<'a> BlockRef<'a> {
+    pub fn new(data: &'a [f64], rows: usize, cols: usize, ld: usize) -> Self {
+        check_geometry(data.len(), rows, cols, ld);
+        BlockRef {
+            data,
+            rows,
+            cols,
+            ld,
+        }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn ld(&self) -> usize {
+        self.ld
+    }
+
+    /// The backing slice; element `(i, j)` lives at `i + j * ld()`.
+    pub fn data(&self) -> &'a [f64] {
+        self.data
+    }
+}
+
+/// Exclusive view of an `rows × cols` column-major block inside a larger
+/// buffer with leading dimension `ld`.
+pub struct BlockMut<'a> {
+    data: &'a mut [f64],
+    rows: usize,
+    cols: usize,
+    ld: usize,
+}
+
+impl<'a> BlockMut<'a> {
+    pub fn new(data: &'a mut [f64], rows: usize, cols: usize, ld: usize) -> Self {
+        check_geometry(data.len(), rows, cols, ld);
+        BlockMut {
+            data,
+            rows,
+            cols,
+            ld,
+        }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn ld(&self) -> usize {
+        self.ld
+    }
+
+    /// The backing slice; element `(i, j)` lives at `i + j * ld()`.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_exact_and_padded_buffers() {
+        let buf = vec![0.0; 10];
+        let b = BlockRef::new(&buf, 2, 3, 4); // spans 4*2+2 = 10
+        assert_eq!((b.rows(), b.cols(), b.ld()), (2, 3, 4));
+        BlockRef::new(&buf, 10, 1, 10);
+        BlockRef::new(&buf, 0, 0, 1); // empty blocks are fine
+        BlockRef::new(&[], 0, 5, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "leading dim")]
+    fn rejects_short_leading_dim() {
+        let buf = vec![0.0; 12];
+        BlockRef::new(&buf, 4, 3, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn rejects_short_buffer() {
+        let mut buf = vec![0.0; 9];
+        BlockMut::new(&mut buf, 2, 3, 4); // needs 10
+    }
+}

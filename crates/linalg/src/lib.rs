@@ -12,6 +12,7 @@
 pub mod blas1;
 pub mod blas2;
 pub mod blas3;
+pub mod block;
 pub mod flops;
 pub mod generate;
 pub mod io;
@@ -19,5 +20,6 @@ pub mod matrix;
 pub mod norms;
 pub mod permutation;
 
+pub use block::{BlockMut, BlockRef};
 pub use generate::LinearSystem;
 pub use matrix::Matrix;

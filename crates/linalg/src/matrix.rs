@@ -130,17 +130,24 @@ impl Matrix {
         Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
     }
 
+    /// View the whole matrix as a column-major block.
+    pub fn block(&self) -> crate::block::BlockRef<'_> {
+        crate::block::BlockRef::new(&self.data, self.rows, self.cols, self.rows)
+    }
+
+    /// Mutable whole-matrix block view.
+    pub fn block_mut(&mut self) -> crate::block::BlockMut<'_> {
+        crate::block::BlockMut::new(&mut self.data, self.rows, self.cols, self.rows)
+    }
+
     /// Dense matrix-vector product `A * x` (unaccounted convenience; hot
     /// paths use [`crate::blas2::dgemv`]).
-    #[allow(clippy::needless_range_loop)]
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols);
         let mut y = vec![0.0; self.rows];
-        for j in 0..self.cols {
-            let xj = x[j];
-            let col = self.col(j);
-            for i in 0..self.rows {
-                y[i] += col[i] * xj;
+        for (j, &xj) in x.iter().enumerate() {
+            for (yi, &av) in y.iter_mut().zip(self.col(j)) {
+                *yi += av * xj;
             }
         }
         y

@@ -59,6 +59,7 @@ impl MonitorHandle {
         ctx.trace_begin("monitor", "monitor_begin");
         let world = ctx.world();
         let node_comm = ctx.split_shared(&world);
+        ctx.check_monitor_node_comm(&node_comm);
         let is_monitor = node_comm.is_highest();
         let monitor_rank_world = node_comm.global_rank(node_comm.size() - 1);
         // Node synchronisation before measurements begin.
@@ -69,6 +70,7 @@ impl MonitorHandle {
             match start_monitoring(rapl, ctx.node(), cfg, ctx.now()) {
                 Ok(s) => {
                     ctx.trace_instant("start_monitoring");
+                    ctx.check_monitor_start();
                     session = Some(s);
                 }
                 Err(MonitorError::Papi(code)) => status = vec![code as i64 as u64],
@@ -120,6 +122,7 @@ impl MonitorHandle {
         ctx.barrier(&self.node_comm);
         let mut report = None;
         if let Some(session) = self.session {
+            ctx.check_monitor_end();
             let r = end_monitoring(session, ctx.node(), self.monitor_rank_world, ctx.now())?;
             ctx.trace_instant("end_monitoring");
             if let Some(dir) = &cfg.output_dir {

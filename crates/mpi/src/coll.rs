@@ -9,6 +9,8 @@
 use crate::comm::Comm;
 use crate::context::{RankCtx, COLL_TAG};
 use crate::envelope::Payload;
+use greenla_check::tagspace;
+use greenla_check::{CollEvent, CollKind};
 
 /// Marker chunk id for unchunked collective messages (keeps plain and
 /// pipelined tags disjoint under one sequence number).
@@ -16,15 +18,47 @@ const PLAIN_CHUNK: u64 = 0xfffff;
 /// Chunk id of the pipelined-broadcast header message.
 const HEADER_CHUNK: u64 = 0xffffe;
 
+/// Pack a collective message tag: the `COLL_TAG` bit, a 43-bit
+/// per-communicator sequence number, and a 20-bit chunk id. The fields
+/// must not overflow into each other — a campaign long enough to exhaust
+/// 2^43 collectives per communicator, or a pipelined payload cut into
+/// more than 2^20 − 2 chunks, would silently alias unrelated messages.
+pub(crate) fn compose_coll_tag(seq: u64, chunk: u64) -> u64 {
+    debug_assert!(
+        tagspace::chunk_fits(chunk),
+        "collective chunk id {chunk} overflows its {}-bit field",
+        tagspace::CHUNK_BITS
+    );
+    debug_assert!(
+        tagspace::seq_fits(seq),
+        "collective sequence number {seq} overflows into the COLL_TAG bit"
+    );
+    COLL_TAG | (seq << tagspace::CHUNK_BITS) | chunk
+}
+
 impl<'m> RankCtx<'m> {
-    fn coll_tag(&mut self, comm: &Comm) -> u64 {
-        COLL_TAG | (self.next_seq(comm.id()) << 20) | PLAIN_CHUNK
+    /// Allocate this collective's sequence number and record its lockstep
+    /// signature with the checker.
+    fn coll_site(&mut self, comm: &Comm, kind: CollKind, root: Option<usize>, elems: u64) -> u64 {
+        let seq = self.next_seq(comm.id());
+        self.check_enter_coll(
+            CollEvent {
+                comm: comm.id(),
+                seq,
+                kind,
+                root,
+                elems,
+            },
+            comm.members(),
+        );
+        seq
     }
 
     /// Binomial-tree broadcast of an arbitrary payload from `root`.
     fn bcast_payload(&mut self, comm: &Comm, root: usize, payload: Option<Payload>) -> Payload {
         let p = comm.size();
-        let tag = self.coll_tag(comm);
+        let seq = self.coll_site(comm, CollKind::Bcast, Some(root), 0);
+        let tag = compose_coll_tag(seq, PLAIN_CHUNK);
         if p == 1 {
             return payload.expect("root must supply the broadcast payload");
         }
@@ -89,13 +123,17 @@ impl<'m> RankCtx<'m> {
         self.trace_begin("coll", "bcast_pipelined");
         let p = comm.size();
         let me = comm.rank();
+        let seq = self.coll_site(
+            comm,
+            CollKind::BcastPipelined,
+            Some(root),
+            chunk_elems as u64,
+        );
         if p == 1 {
-            self.next_seq(comm.id());
             self.trace_end("coll", "bcast_pipelined");
             return;
         }
-        let seq = self.next_seq(comm.id());
-        let tag = |chunk: u64| COLL_TAG | (seq << 20) | chunk;
+        let tag = |chunk: u64| compose_coll_tag(seq, chunk);
         let rel = (me + p - root) % p;
         let parent = if rel == 0 {
             None
@@ -121,6 +159,10 @@ impl<'m> RankCtx<'m> {
         }
         let total = header[0] as usize;
         let nchunks = total.div_ceil(chunk_elems).max(1);
+        if self.checker.enabled() {
+            let t = self.clock;
+            self.checker.coll_tag_space(seq, nchunks as u64, t);
+        }
         let mut out: Vec<f64> = if rel == 0 {
             std::mem::take(buf)
         } else {
@@ -190,7 +232,8 @@ impl<'m> RankCtx<'m> {
         op: impl Fn(&mut [f64], &[f64]),
     ) -> Option<Vec<f64>> {
         let p = comm.size();
-        let tag = self.coll_tag(comm);
+        let seq = self.coll_site(comm, CollKind::Reduce, Some(root), acc.len() as u64);
+        let tag = compose_coll_tag(seq, PLAIN_CHUNK);
         if p == 1 {
             return Some(acc);
         }
@@ -272,7 +315,8 @@ impl<'m> RankCtx<'m> {
     pub fn gather_f64(&mut self, comm: &Comm, root: usize, data: &[f64]) -> Option<Vec<Vec<f64>>> {
         self.trace_begin("coll", "gather");
         let p = comm.size();
-        let tag = self.coll_tag(comm);
+        let seq = self.coll_site(comm, CollKind::Gather, Some(root), 0);
+        let tag = compose_coll_tag(seq, PLAIN_CHUNK);
         let me = comm.rank();
         let result = if me == root {
             let mut out: Vec<Vec<f64>> = Vec::with_capacity(p);
@@ -316,5 +360,54 @@ impl<'m> RankCtx<'m> {
         }
         self.trace_end("coll", "allgather");
         out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coll_tag_fields_are_disjoint() {
+        // Neighbouring (seq, chunk) pairs must never alias: each field lives
+        // in its own bit range below the COLL_TAG marker.
+        let a = compose_coll_tag(1, 0);
+        let b = compose_coll_tag(0, 1);
+        let c = compose_coll_tag(1, 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+        assert_eq!(a & COLL_TAG, COLL_TAG);
+        // seq and chunk decode back out of the packed tag.
+        assert_eq!((a >> tagspace::CHUNK_BITS) & tagspace::MAX_SEQ, 1);
+        assert_eq!(c & tagspace::MAX_CHUNK, 1);
+    }
+
+    #[test]
+    fn coll_tag_saturates_exactly_at_the_field_boundaries() {
+        // The largest legal (seq, chunk) fills every bit without carrying
+        // into a neighbouring field.
+        assert_eq!(
+            compose_coll_tag(tagspace::MAX_SEQ, tagspace::MAX_CHUNK),
+            u64::MAX
+        );
+        // The reserved marker chunks sit inside the chunk field.
+        assert!(tagspace::chunk_fits(PLAIN_CHUNK));
+        assert!(tagspace::chunk_fits(HEADER_CHUNK));
+        assert_eq!(tagspace::MAX_PIPELINE_CHUNKS, HEADER_CHUNK);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "overflows into the COLL_TAG bit")]
+    fn coll_tag_rejects_seq_overflow() {
+        compose_coll_tag(tagspace::MAX_SEQ + 1, 0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "overflows its 20-bit field")]
+    fn coll_tag_rejects_chunk_overflow() {
+        compose_coll_tag(0, tagspace::MAX_CHUNK + 1);
     }
 }

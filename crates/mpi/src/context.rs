@@ -2,9 +2,10 @@
 
 use crate::comm::{Comm, WORLD_ID};
 use crate::envelope::{Envelope, Payload};
-use crate::registry::Registry;
+use crate::registry::{Registry, SplitEntry};
 use crate::traffic::Traffic;
 use crossbeam_channel::{Receiver, RecvTimeoutError, Sender};
+use greenla_check::{CollEvent, CollKind, RankChecker};
 use greenla_cluster::ledger::{ActivityKind, Interval, Ledger};
 use greenla_cluster::placement::Placement;
 use greenla_cluster::spec::ClusterSpec;
@@ -48,6 +49,10 @@ pub struct RankCtx<'m> {
     /// Event recorder for this rank; a no-op unless the machine has an
     /// enabled [`greenla_trace::TraceSink`] attached.
     pub(crate) tracer: RankTracer,
+    /// Correctness-checker hooks for this rank; a no-op unless the machine
+    /// has an enabled [`greenla_check::CheckSink`] attached. Hooks only
+    /// observe the virtual clocks, never advance them.
+    pub(crate) checker: RankChecker,
 }
 
 impl<'m> RankCtx<'m> {
@@ -199,10 +204,15 @@ impl<'m> RankCtx<'m> {
                 &[("flops", flops as f64), ("dram_bytes", dram_bytes as f64)],
             );
         }
+        let t0 = self.clock;
         self.busy(t_flops.max(t_mem), ActivityKind::Compute, flops);
         if self.tracer.enabled() {
             let t = self.clock;
             self.tracer.end("compute", "compute", t);
+        }
+        if self.checker.enabled() {
+            let t1 = self.clock;
+            self.checker.compute(t0, t1);
         }
     }
 
@@ -258,6 +268,10 @@ impl<'m> RankCtx<'m> {
             let t = self.clock;
             self.tracer.end("comm", "send", t);
         }
+        if self.checker.enabled() {
+            let t = self.clock;
+            self.checker.sent(dst, comm.id(), tag, t);
+        }
     }
 
     pub(crate) fn recv_payload(&mut self, comm: &Comm, src_index: usize, tag: u64) -> Payload {
@@ -268,6 +282,10 @@ impl<'m> RankCtx<'m> {
             let t = self.clock;
             self.tracer
                 .begin_with_args("comm", "recv", t, &[("src", src as f64)]);
+        }
+        if self.checker.enabled() {
+            let t = self.clock;
+            self.checker.block_recv(src, cid, tag, t);
         }
         loop {
             if let Some(pos) = self
@@ -283,13 +301,21 @@ impl<'m> RankCtx<'m> {
                     let t = self.clock;
                     self.tracer.end("comm", "recv", t);
                 }
+                if self.checker.enabled() {
+                    let t = self.clock;
+                    self.checker.unblock_recv(env.arrival, t);
+                }
                 return env.payload;
             }
             match self.rx.recv_timeout(POLL) {
                 Ok(env) => self.pending.push(env),
                 Err(RecvTimeoutError::Timeout) => {
+                    if let Some(msg) = self.checker.probe_deadlock() {
+                        self.registry.poison();
+                        panic!("{msg}");
+                    }
                     if self.registry.is_poisoned() {
-                        panic!("simulated MPI run aborted: a peer rank failed");
+                        panic!("{}", self.checker.abort_message());
                     }
                 }
                 Err(RecvTimeoutError::Disconnected) => {
@@ -332,6 +358,10 @@ impl<'m> RankCtx<'m> {
             self.tracer
                 .begin_with_args("comm", "recv_idle", t, &[("src", src_g as f64)]);
         }
+        if self.checker.enabled() {
+            let t = self.clock;
+            self.checker.block_recv(src_g, cid, tag, t);
+        }
         loop {
             if let Some(pos) = self
                 .pending
@@ -350,13 +380,21 @@ impl<'m> RankCtx<'m> {
                     let t = self.clock;
                     self.tracer.end("comm", "recv_idle", t);
                 }
+                if self.checker.enabled() {
+                    let t = self.clock;
+                    self.checker.unblock_recv(env.arrival, t);
+                }
                 return env.payload.expect_f64();
             }
             match self.rx.recv_timeout(POLL) {
                 Ok(env) => self.pending.push(env),
                 Err(RecvTimeoutError::Timeout) => {
+                    if let Some(msg) = self.checker.probe_deadlock() {
+                        self.registry.poison();
+                        panic!("{msg}");
+                    }
                     if self.registry.is_poisoned() {
-                        panic!("simulated MPI run aborted: a peer rank failed");
+                        panic!("{}", self.checker.abort_message());
                     }
                 }
                 Err(RecvTimeoutError::Disconnected) => {
@@ -419,19 +457,40 @@ impl<'m> RankCtx<'m> {
 
     /// `MPI_Barrier`: blocks until every member arrives; all leave at
     /// `max(arrival) + α·⌈log₂ P⌉`.
+    /// Record a collective entry with the checker (no-op when checking is
+    /// disabled).
+    pub(crate) fn check_enter_coll(&mut self, ev: CollEvent, members: &[usize]) {
+        if self.checker.enabled() {
+            let t = self.clock;
+            self.checker.coll_tag_space(ev.seq, 0, t);
+            self.checker.enter_coll(ev, members, t);
+        }
+    }
+
     pub fn barrier(&mut self, comm: &Comm) {
         self.trace_begin("coll", "barrier");
         let p = comm.size();
-        if p == 1 {
-            self.next_seq(comm.id());
-            self.trace_end("coll", "barrier");
-            return;
-        }
-        let cost =
-            self.coll_alpha(comm) * (p as f64).log2().ceil() + self.spec.net.per_message_overhead_s;
         let seq = self.next_seq(comm.id());
-        let release = self.registry.barrier(comm.id(), seq, p, self.clock, cost);
-        self.busy_until(release, ActivityKind::Comm);
+        self.check_enter_coll(
+            CollEvent {
+                comm: comm.id(),
+                seq,
+                kind: CollKind::Barrier,
+                root: None,
+                elems: 0,
+            },
+            comm.members(),
+        );
+        if p > 1 {
+            let cost = self.coll_alpha(comm) * (p as f64).log2().ceil()
+                + self.spec.net.per_message_overhead_s;
+            let release = self.registry.barrier(comm.id(), seq, p, self.clock, cost);
+            self.busy_until(release, ActivityKind::Comm);
+        }
+        if self.checker.enabled() {
+            let t = self.clock;
+            self.checker.coll_done(t);
+        }
         self.trace_end("coll", "barrier");
     }
 
@@ -443,10 +502,31 @@ impl<'m> RankCtx<'m> {
         let cost = self.coll_alpha(comm) * (p as f64).log2().ceil().max(1.0)
             + self.spec.net.per_message_overhead_s;
         let seq = self.next_seq(comm.id());
-        let out = self
-            .registry
-            .split(comm.id(), seq, p, self.rank, color, key, self.clock, cost);
+        self.check_enter_coll(
+            CollEvent {
+                comm: comm.id(),
+                seq,
+                kind: CollKind::Split,
+                root: None,
+                elems: 0,
+            },
+            comm.members(),
+        );
+        let out = self.registry.split(SplitEntry {
+            parent_id: comm.id(),
+            seq,
+            expected: p,
+            grank: self.rank,
+            color,
+            key,
+            t: self.clock,
+            cost,
+        });
         self.busy_until(out.release_t, ActivityKind::Comm);
+        if self.checker.enabled() {
+            let t = self.clock;
+            self.checker.coll_done(t);
+        }
         self.trace_end("coll", "comm_split");
         Comm::new(out.comm_id, out.members, out.my_index)
     }
@@ -456,5 +536,62 @@ impl<'m> RankCtx<'m> {
     /// node" designation used by the monitoring framework is well defined.
     pub fn split_shared(&mut self, comm: &Comm) -> Comm {
         self.split(comm, self.core.node as u64, self.rank as u64)
+    }
+
+    // ----- correctness checking --------------------------------------------------
+
+    /// Is correctness checking active for this run?
+    pub fn check_enabled(&self) -> bool {
+        self.checker.enabled()
+    }
+
+    /// Tell the checker which communicator is this rank's node
+    /// communicator in the Figure-2 monitoring choreography. Called by the
+    /// monitoring layer right after `split_shared`.
+    pub fn check_monitor_node_comm(&mut self, node_comm: &Comm) {
+        if self.checker.enabled() {
+            let t = self.clock;
+            self.checker.monitor_node_comm(node_comm.id(), t);
+        }
+    }
+
+    /// Tell the checker `start_monitoring` ran on this rank (MON001: the
+    /// designated monitoring rank is the node's highest rank).
+    pub fn check_monitor_start(&mut self) {
+        if self.checker.enabled() {
+            let t = self.clock;
+            self.checker.monitor_start(t);
+        }
+    }
+
+    /// Tell the checker `end_monitoring` ran on this rank
+    /// (MON002/MON003/MON004: start before end, node barrier immediately
+    /// before, no work straddling the window).
+    pub fn check_monitor_end(&mut self) {
+        if self.checker.enabled() {
+            let t = self.clock;
+            self.checker.monitor_end(t);
+        }
+    }
+
+    /// Mark this rank finished for the wait-for graph (called by the
+    /// machine when the rank's closure returns).
+    pub(crate) fn check_finished(&mut self) {
+        if self.checker.enabled() {
+            let t = self.clock;
+            self.checker.rank_finished(t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::COLL_TAG;
+
+    #[test]
+    fn coll_tag_bit_matches_checker_tagspace() {
+        // The checker describes tags and audits overflow against its own
+        // copy of the bit layout; the two must agree.
+        assert_eq!(COLL_TAG, greenla_check::tagspace::COLL_TAG_BIT);
     }
 }

@@ -27,6 +27,14 @@
 //! point-to-point, every collective). Attach a sink with
 //! [`Machine::with_trace`] to record them; tracing only *observes* the
 //! virtual clocks, so traced and untraced runs have identical timings.
+//!
+//! The same hooks feed [`greenla_check`], a MUST-style dynamic correctness
+//! checker: attach a sink with [`Machine::with_check`] and the runtime
+//! reports deadlocks (with the wait-for cycle, instead of hanging),
+//! collective lockstep mismatches, leaked messages at finalize, monitor
+//! protocol breaches, and clock-causality bugs as structured
+//! [`Violation`]s. Checking, like tracing, never advances a clock: a
+//! checked run is bit-identical in timing to an unchecked one.
 
 pub mod coll;
 pub mod comm;
@@ -40,6 +48,7 @@ pub mod traffic;
 pub use comm::Comm;
 pub use context::RankCtx;
 pub use error::MachineError;
+pub use greenla_check::{CheckSink, CollEvent, CollKind, Rule, Violation};
 pub use greenla_trace::{EventKind, TraceEvent, TraceSink};
 pub use machine::{Machine, RunOutput};
 pub use traffic::{Traffic, TrafficSnapshot};

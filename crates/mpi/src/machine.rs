@@ -5,7 +5,8 @@ use crate::envelope::Envelope;
 use crate::error::MachineError;
 use crate::registry::Registry;
 use crate::traffic::{Traffic, TrafficSnapshot};
-use crossbeam_channel::unbounded;
+use crossbeam_channel::{unbounded, Receiver};
+use greenla_check::CheckSink;
 use greenla_cluster::ledger::Ledger;
 use greenla_cluster::placement::Placement;
 use greenla_cluster::spec::ClusterSpec;
@@ -24,6 +25,7 @@ pub struct Machine {
     ledger: Arc<Ledger>,
     traffic: Arc<Traffic>,
     trace: TraceSink,
+    check: CheckSink,
 }
 
 /// What a completed run produced.
@@ -65,6 +67,7 @@ impl Machine {
             ledger,
             traffic: Arc::new(Traffic::new()),
             trace: TraceSink::disabled(),
+            check: CheckSink::disabled(),
         })
     }
 
@@ -84,6 +87,24 @@ impl Machine {
     /// The attached trace sink (disabled by default).
     pub fn trace(&self) -> &TraceSink {
         &self.trace
+    }
+
+    /// Attach a correctness-checking sink. Like tracing, checking only
+    /// observes the virtual clocks — it never advances them — so a checked
+    /// run produces bit-identical timings to an unchecked one.
+    pub fn set_check(&mut self, sink: CheckSink) {
+        self.check = sink;
+    }
+
+    /// Builder-style [`Machine::set_check`].
+    pub fn with_check(mut self, sink: CheckSink) -> Self {
+        self.check = sink;
+        self
+    }
+
+    /// The attached checking sink (disabled by default).
+    pub fn check(&self) -> &CheckSink {
+        &self.check
     }
 
     /// The activity ledger (shared; energy layers read it during and after
@@ -145,7 +166,9 @@ impl Machine {
         F: Fn(&mut RankCtx) -> R + Sync,
     {
         let n = self.placement.ntasks();
-        let registry = Registry::new();
+        self.check
+            .begin_run((0..n).map(|r| self.placement.core_of(r).node).collect());
+        let registry = Registry::new().with_check(self.check.clone());
         let mut txs = Vec::with_capacity(n);
         let mut rxs = Vec::with_capacity(n);
         for _ in 0..n {
@@ -158,6 +181,11 @@ impl Machine {
         let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let clocks: Vec<Mutex<f64>> = (0..n).map(|_| Mutex::new(0.0)).collect();
         let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+        // Each finished rank parks its mailbox here so the message-hygiene
+        // audit can run after *every* thread has stopped sending — draining
+        // inside the rank thread would race a slower peer's late send.
+        type Mailbox = (Receiver<Envelope>, Vec<Envelope>);
+        let mailboxes: Vec<Mutex<Option<Mailbox>>> = (0..n).map(|_| Mutex::new(None)).collect();
 
         std::thread::scope(|scope| {
             for (rank, rx) in rxs.into_iter().enumerate() {
@@ -167,10 +195,12 @@ impl Machine {
                 let results = &results;
                 let clocks = &clocks;
                 let first_panic = &first_panic;
+                let mailboxes = &mailboxes;
                 let f = &f;
                 let core = self.placement.core_of(rank);
                 let perf_mult = self.power.perf_multiplier(self.seed, core.node);
                 let tracer = self.trace.tracer(rank, core.node);
+                let checker = self.check.checker(rank, core.node);
                 scope.spawn(move || {
                     let mut ctx = RankCtx {
                         rank,
@@ -191,11 +221,15 @@ impl Machine {
                         seqs: Default::default(),
                         world_members,
                         tracer,
+                        checker,
                     };
                     match catch_unwind(AssertUnwindSafe(|| f(&mut ctx))) {
                         Ok(r) => {
                             *results[rank].lock() = Some(r);
                             *clocks[rank].lock() = ctx.clock;
+                            ctx.check_finished();
+                            let pending = std::mem::take(&mut ctx.pending);
+                            *mailboxes[rank].lock() = Some((ctx.rx, pending));
                         }
                         Err(payload) => {
                             registry.poison();
@@ -211,6 +245,24 @@ impl Machine {
 
         if let Some(payload) = first_panic.into_inner() {
             resume_unwind(payload);
+        }
+        if self.check.is_enabled() {
+            // Message hygiene: anything still sitting in a mailbox at
+            // finalize was sent but never received (MSG001).
+            for (rank, slot) in mailboxes.iter().enumerate() {
+                if let Some((rx, pending)) = slot.lock().take() {
+                    let mut leaked: Vec<(usize, u64, u64, f64)> = pending
+                        .iter()
+                        .map(|e| (e.src, e.comm_id, e.tag, e.arrival))
+                        .collect();
+                    while let Ok(e) = rx.try_recv() {
+                        leaked.push((e.src, e.comm_id, e.tag, e.arrival));
+                    }
+                    if !leaked.is_empty() {
+                        self.check.report_residue(rank, &leaked);
+                    }
+                }
+            }
         }
         let results: Vec<R> = results
             .into_iter()

@@ -12,6 +12,7 @@
 //! The registry is also the abort channel: when any rank panics, the machine
 //! poisons it so blocked peers fail fast instead of deadlocking.
 
+use greenla_check::CheckSink;
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -26,6 +27,30 @@ pub struct SplitOutcome {
     pub my_index: usize,
     /// Virtual time at which the collective completes.
     pub release_t: f64,
+}
+
+/// One rank's entry into a communicator split: which call site it joins
+/// (`parent_id`, `seq`), its identity and ordering inputs, and its timing
+/// contribution.
+#[derive(Clone, Copy, Debug)]
+pub struct SplitEntry {
+    /// Communicator being split.
+    pub parent_id: u64,
+    /// Per-communicator sequence number of the call site.
+    pub seq: u64,
+    /// Number of members expected at this call site.
+    pub expected: usize,
+    /// This rank's global rank.
+    pub grank: usize,
+    /// Partition this rank chose.
+    pub color: u64,
+    /// Ordering key within the partition (ties broken by global rank).
+    pub key: u64,
+    /// This rank's arrival time (virtual seconds).
+    pub t: f64,
+    /// This rank's estimate of the collective's cost; the largest entry
+    /// wins.
+    pub cost: f64,
 }
 
 struct BarrierState {
@@ -54,6 +79,10 @@ pub struct Registry {
     barrier_cv: Condvar,
     splits: Mutex<HashMap<(u64, u64), SplitState>>,
     split_cv: Condvar,
+    /// Checking sink of the owning machine (disabled by default). Waiters
+    /// run its deadlock probe from their poll loops, so a run where every
+    /// rank is stuck aborts with a diagnostic instead of hanging.
+    check: CheckSink,
 }
 
 const POLL: Duration = Duration::from_millis(25);
@@ -67,7 +96,14 @@ impl Registry {
             barrier_cv: Condvar::new(),
             splits: Mutex::new(HashMap::new()),
             split_cv: Condvar::new(),
+            check: CheckSink::disabled(),
         }
+    }
+
+    /// Attach the machine's checking sink (builder style).
+    pub fn with_check(mut self, check: CheckSink) -> Self {
+        self.check = check;
+        self
     }
 
     /// Mark the run as failed; every blocked rank will panic out.
@@ -84,7 +120,17 @@ impl Registry {
 
     fn check_poison(&self) {
         if self.is_poisoned() {
-            panic!("simulated MPI run aborted: a peer rank failed");
+            panic!("{}", self.check.abort_message());
+        }
+    }
+
+    /// One iteration of a waiter's poll loop: abort on poison, declare a
+    /// deadlock (and poison the run) if the probe finds one.
+    fn poll_waiter(&self) {
+        self.check_poison();
+        if let Some(msg) = self.check.probe_deadlock() {
+            self.poison();
+            panic!("{msg}");
         }
     }
 
@@ -121,26 +167,25 @@ impl Registry {
                 }
                 return rt;
             }
-            self.check_poison();
+            self.poll_waiter();
             self.barrier_cv.wait_for(&mut map, POLL);
         }
     }
 
-    /// Enter a split of `parent` (call-site `seq`) with this rank's
-    /// `(color, key)`; blocks until all `expected` members arrive and
-    /// returns this rank's new communicator.
-    #[allow(clippy::too_many_arguments)]
-    pub fn split(
-        &self,
-        parent_id: u64,
-        seq: u64,
-        expected: usize,
-        grank: usize,
-        color: u64,
-        key: u64,
-        t: f64,
-        cost: f64,
-    ) -> SplitOutcome {
+    /// Enter a split call site with this rank's [`SplitEntry`]; blocks
+    /// until all expected members arrive and returns this rank's new
+    /// communicator.
+    pub fn split(&self, entry: SplitEntry) -> SplitOutcome {
+        let SplitEntry {
+            parent_id,
+            seq,
+            expected,
+            grank,
+            color,
+            key,
+            t,
+            cost,
+        } = entry;
         let map_key = (parent_id, seq);
         let mut map = self.splits.lock();
         let st = map.entry(map_key).or_insert(SplitState {
@@ -205,7 +250,7 @@ impl Registry {
                 }
                 return mine;
             }
-            self.check_poison();
+            self.poll_waiter();
             self.split_cv.wait_for(&mut map, POLL);
         }
     }
@@ -269,7 +314,21 @@ mod tests {
             .iter()
             .map(|&(g, c, k)| {
                 let reg = Arc::clone(&reg);
-                thread::spawn(move || (g, reg.split(0, 0, 4, g, c, k, 0.0, 0.1)))
+                thread::spawn(move || {
+                    (
+                        g,
+                        reg.split(SplitEntry {
+                            parent_id: 0,
+                            seq: 0,
+                            expected: 4,
+                            grank: g,
+                            color: c,
+                            key: k,
+                            t: 0.0,
+                            cost: 0.1,
+                        }),
+                    )
+                })
             })
             .collect();
         let mut results: Vec<(usize, SplitOutcome)> =

@@ -1,0 +1,234 @@
+//! The broken-program battery: each mini-program violates exactly one
+//! checker rule and must trip exactly that diagnostic, while a clean
+//! program using every collective stays violation-free. Also asserts the
+//! checker's zero-interference property: a checked run's virtual timings
+//! are bit-identical to an unchecked run's.
+
+use greenla_cluster::placement::{LoadLayout, Placement};
+use greenla_cluster::spec::ClusterSpec;
+use greenla_cluster::PowerModel;
+use greenla_mpi::{CheckSink, Machine, Rule};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn checked_machine(ranks: usize) -> Machine {
+    // Nodes of 2×4 cores for big runs; a 2-core node for the 2-rank
+    // mini-programs (FullLoad placement needs ranks % node size == 0).
+    let per_socket = if ranks < 8 { ranks.div_ceil(2) } else { 4 };
+    let spec = ClusterSpec::test_cluster(ranks.div_ceil(2 * per_socket), per_socket);
+    let placement = Placement::layout(&spec.node, ranks, LoadLayout::FullLoad).unwrap();
+    Machine::new(spec, placement, PowerModel::deterministic(), 7)
+        .unwrap()
+        .with_check(CheckSink::enabled())
+}
+
+/// The panic payload of an aborted run, as text.
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast::<String>()
+        .map(|s| *s)
+        .or_else(|p| p.downcast::<&'static str>().map(|s| s.to_string()))
+        .unwrap_or_else(|_| "<non-string panic>".to_string())
+}
+
+#[test]
+fn send_recv_cycle_aborts_with_dl001_instead_of_hanging() {
+    let m = checked_machine(2);
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        m.run(|ctx| {
+            let world = ctx.world();
+            // Classic head-to-head deadlock: both ranks receive first.
+            let peer = 1 - ctx.rank();
+            ctx.recv_f64(&world, peer, 3);
+            ctx.send_f64(&world, peer, 3, &[1.0]);
+        })
+    }));
+    let Err(payload) = r else {
+        panic!("deadlocked run must abort, not hang");
+    };
+    let msg = panic_text(payload);
+    assert!(msg.contains("deadlock"), "diagnostic missing: {msg}");
+    assert!(
+        msg.contains("cycle: 0 -> 1 -> 0") || msg.contains("cycle: 1 -> 0 -> 1"),
+        "cycle must be spelled out: {msg}"
+    );
+    assert!(
+        msg.contains("recv(src=1, comm=0, tag=3)"),
+        "blocked receives must be named with src/comm/tag: {msg}"
+    );
+    let violations = m.check().violations();
+    let dl: Vec<_> = violations
+        .iter()
+        .filter(|v| v.rule == Rule::Deadlock)
+        .collect();
+    assert_eq!(dl.len(), 1, "exactly one DL001: {violations:#?}");
+    assert_eq!(dl[0].ranks, vec![0, 1]);
+    assert_eq!(dl[0].rule.id(), "DL001");
+}
+
+#[test]
+fn skipped_barrier_names_the_finished_rank() {
+    let m = checked_machine(2);
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        m.run(|ctx| {
+            let world = ctx.world();
+            // Rank 0 forgets the barrier and finalizes early.
+            if ctx.rank() == 1 {
+                ctx.barrier(&world);
+            }
+        })
+    }));
+    let Err(payload) = r else {
+        panic!("half-entered barrier must abort");
+    };
+    let msg = panic_text(payload);
+    assert!(
+        msg.contains("rank 1 waits on rank 0, which has already finished"),
+        "diagnostic must name the finished rank: {msg}"
+    );
+    assert_eq!(
+        m.check()
+            .violations()
+            .iter()
+            .filter(|v| v.rule == Rule::Deadlock)
+            .count(),
+        1
+    );
+}
+
+#[test]
+fn mismatched_bcast_root_trips_coll001() {
+    let m = checked_machine(2);
+    m.run(|ctx| {
+        let world = ctx.world();
+        // Each rank believes IT is the broadcast root: the sends cross in
+        // flight and nobody receives, so the run completes — silently wrong
+        // without the checker.
+        let mut buf = vec![ctx.rank() as f64];
+        ctx.bcast_f64(&world, ctx.rank(), &mut buf);
+    });
+    let violations = m.check().violations();
+    let coll: Vec<_> = violations
+        .iter()
+        .filter(|v| v.rule == Rule::CollectiveMismatch)
+        .collect();
+    assert_eq!(coll.len(), 1, "exactly one COLL001: {violations:#?}");
+    assert_eq!(coll[0].ranks, vec![0, 1]);
+    assert!(
+        coll[0].message.contains("root=0") && coll[0].message.contains("root=1"),
+        "both roots must be named: {}",
+        coll[0].message
+    );
+    // The crossed sends are also caught as mailbox residue at finalize.
+    assert_eq!(
+        violations
+            .iter()
+            .filter(|v| v.rule == Rule::MessageLeak)
+            .count(),
+        2,
+        "both undelivered broadcast messages leak: {violations:#?}"
+    );
+}
+
+#[test]
+fn unreceived_message_trips_msg001_with_src_dst_tag() {
+    let m = checked_machine(2);
+    m.run(|ctx| {
+        let world = ctx.world();
+        if ctx.rank() == 0 {
+            ctx.send_f64(&world, 1, 42, &[1.0, 2.0]);
+        }
+        // Rank 1 never posts the matching receive.
+        ctx.barrier(&world);
+    });
+    let violations = m.check().violations();
+    assert_eq!(violations.len(), 1, "exactly one MSG001: {violations:#?}");
+    let v = &violations[0];
+    assert_eq!(v.rule, Rule::MessageLeak);
+    assert_eq!(v.rule.id(), "MSG001");
+    assert_eq!(v.ranks, vec![0, 1], "sender and receiver are both named");
+    assert!(
+        v.message.contains("from rank 0") && v.message.contains("tag 42"),
+        "source and tag must be named: {}",
+        v.message
+    );
+    assert!(!v.suggestion.is_empty(), "every rule carries a fix hint");
+}
+
+#[test]
+fn clean_program_with_every_collective_is_violation_free() {
+    let m = checked_machine(16);
+    m.run(|ctx| {
+        let world = ctx.world();
+        ctx.compute(1_000_000 * (1 + ctx.rank() as u64), 128);
+        ctx.barrier(&world);
+        // Matched point-to-point ring.
+        let next = (ctx.rank() + 1) % ctx.size();
+        let prev = (ctx.rank() + ctx.size() - 1) % ctx.size();
+        ctx.send_f64(&world, next, 9, &[ctx.rank() as f64]);
+        ctx.recv_f64(&world, prev, 9);
+        // Every collective the runtime offers.
+        let mut buf = if ctx.rank() == 2 {
+            vec![1.0; 64]
+        } else {
+            vec![]
+        };
+        ctx.bcast_f64(&world, 2, &mut buf);
+        let mut big = if ctx.rank() == 0 {
+            vec![2.0; 4096]
+        } else {
+            vec![]
+        };
+        ctx.bcast_pipelined_f64(&world, 0, &mut big, 256);
+        ctx.reduce_sum_f64(&world, 1, &[ctx.rank() as f64]);
+        ctx.allreduce_sum_f64(&world, &[1.0]);
+        ctx.allreduce_maxloc_abs(&world, ctx.rank() as f64, ctx.rank() as u64);
+        ctx.gather_f64(&world, 0, &[ctx.rank() as f64]);
+        ctx.allgather_f64(&world, &[ctx.rank() as f64]);
+        let node_comm = ctx.split_shared(&world);
+        ctx.barrier(&node_comm);
+        ctx.barrier(&world);
+    });
+    let violations = m.check().violations();
+    assert!(
+        violations.is_empty(),
+        "clean program must produce no diagnostics: {violations:#?}"
+    );
+}
+
+#[test]
+fn checked_run_timings_are_bit_identical_to_unchecked() {
+    let program = |ctx: &mut greenla_mpi::RankCtx| {
+        let world = ctx.world();
+        ctx.compute(10_000_000 * (1 + ctx.rank() as u64 % 3), 512);
+        ctx.barrier(&world);
+        let mut buf = if ctx.rank() == 0 {
+            vec![1.5; 2048]
+        } else {
+            vec![]
+        };
+        ctx.bcast_pipelined_f64(&world, 0, &mut buf, 128);
+        ctx.allreduce_sum_f64(&world, &[ctx.rank() as f64]);
+        ctx.now()
+    };
+    let run = |check: bool| {
+        let spec = ClusterSpec::test_cluster(2, 4);
+        let placement = Placement::layout(&spec.node, 16, LoadLayout::FullLoad).unwrap();
+        let mut m = Machine::new(spec, placement, PowerModel::deterministic(), 7).unwrap();
+        if check {
+            m.set_check(CheckSink::enabled());
+        }
+        let out = m.run(program);
+        assert!(m.check().violations().is_empty());
+        (out.makespan, out.results)
+    };
+    let (makespan_checked, clocks_checked) = run(true);
+    let (makespan_plain, clocks_plain) = run(false);
+    assert_eq!(
+        makespan_checked.to_bits(),
+        makespan_plain.to_bits(),
+        "checking must not perturb the virtual clock"
+    );
+    for (a, b) in clocks_checked.iter().zip(&clocks_plain) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}

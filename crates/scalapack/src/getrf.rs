@@ -9,7 +9,7 @@
 use crate::error::LuError;
 use greenla_linalg::blas1::idamax;
 use greenla_linalg::blas3::{dgemm, dtrsm_left_lower_unit};
-use greenla_linalg::Matrix;
+use greenla_linalg::{BlockMut, BlockRef, Matrix};
 
 /// Default panel width.
 pub const DEFAULT_NB: usize = 64;
@@ -92,7 +92,13 @@ pub fn getrf(a: &mut Matrix, nb: usize) -> Result<Vec<usize>, LuError> {
             };
             let s = a.as_mut_slice();
             let sub = &mut s[rest + rest * ld..];
-            dgemm(m2, m2, kb, -1.0, &l21, m2, &u12, kb, 1.0, sub, ld);
+            dgemm(
+                -1.0,
+                BlockRef::new(&l21, m2, kb, m2),
+                BlockRef::new(&u12, kb, m2, kb),
+                1.0,
+                BlockMut::new(sub, m2, m2, ld),
+            );
         }
     }
     Ok(ipiv)

@@ -14,6 +14,7 @@ use crate::error::LuError;
 use crate::grid::ProcessGrid;
 use greenla_linalg::blas3::{dgemm, dtrsm_left_lower_unit};
 use greenla_linalg::flops;
+use greenla_linalg::{BlockMut, BlockRef};
 use greenla_mpi::RankCtx;
 
 /// Tag base for the row-interchange point-to-point exchanges.
@@ -93,7 +94,6 @@ fn swap_rows_local_cols(
 
 /// Factor the distributed matrix in place; returns the global pivot vector
 /// (replicated on every process).
-#[allow(clippy::needless_range_loop)] // index-coupled numeric loops
 pub fn pdgetrf(
     ctx: &mut RankCtx,
     grid: &ProcessGrid,
@@ -212,8 +212,8 @@ pub fn pdgetrf(
                 !(mycol == pcol_k && (k..k + kb).contains(&gj))
             })
             .collect();
-        for j in k..k + kb {
-            swap_rows_local_cols(ctx, grid, a, j, ipiv[j], &other_lcols, (j + n) as u64);
+        for (j, &piv) in ipiv.iter().enumerate().skip(k).take(kb) {
+            swap_rows_local_cols(ctx, grid, a, j, piv, &other_lcols, (j + n) as u64);
         }
 
         let rest = k + kb;
@@ -266,7 +266,11 @@ pub fn pdgetrf(
                 let s = a.local.as_mut_slice();
                 let sub = &mut s[lr_start + lc_start * ld..];
                 dgemm(
-                    m2_loc, n2_loc, kb, -1.0, &l21, m2_loc, &u12, kb, 1.0, sub, ld,
+                    -1.0,
+                    BlockRef::new(&l21, m2_loc, kb, m2_loc),
+                    BlockRef::new(&u12, kb, n2_loc, kb),
+                    1.0,
+                    BlockMut::new(sub, m2_loc, n2_loc, ld),
                 );
                 ctx.compute(
                     flops::dgemm(m2_loc, n2_loc, kb),

@@ -16,7 +16,6 @@ use greenla_mpi::RankCtx;
 
 /// Solve `A·x = b` given distributed LU factors and the replicated pivot
 /// vector; `b` (replicated) is overwritten with `x` on every process.
-#[allow(clippy::needless_range_loop)] // index-coupled numeric loops
 pub fn pdgetrs(
     ctx: &mut RankCtx,
     grid: &ProcessGrid,
@@ -51,8 +50,8 @@ pub fn pdgetrs(
                 let gj = d.gcol(lj, mycol);
                 let yj = b[gj];
                 if yj != 0.0 {
-                    for i in 0..kb {
-                        partial[i] += a.local[(lr0 + i, lj)] * yj;
+                    for (i, p) in partial.iter_mut().enumerate() {
+                        *p += a.local[(lr0 + i, lj)] * yj;
                     }
                 }
             }
@@ -66,8 +65,8 @@ pub fn pdgetrs(
                 for jj in 0..kb {
                     let zj = z[jj];
                     if zj != 0.0 {
-                        for ii in jj + 1..kb {
-                            z[ii] -= a.local[(lr0 + ii, lc0 + jj)] * zj;
+                        for (ii, zi) in z.iter_mut().enumerate().skip(jj + 1) {
+                            *zi -= a.local[(lr0 + ii, lc0 + jj)] * zj;
                         }
                     }
                 }
@@ -106,8 +105,8 @@ pub fn pdgetrs(
                 let gj = d.gcol(lj, mycol);
                 let yj = b[gj];
                 if yj != 0.0 {
-                    for i in 0..kb {
-                        partial[i] += a.local[(lr0 + i, lj)] * yj;
+                    for (i, p) in partial.iter_mut().enumerate() {
+                        *p += a.local[(lr0 + i, lj)] * yj;
                     }
                 }
             }
@@ -127,8 +126,8 @@ pub fn pdgetrs(
                     );
                     z[jj] /= diag;
                     let zj = z[jj];
-                    for ii in 0..jj {
-                        z[ii] -= a.local[(lr0 + ii, lc0 + jj)] * zj;
+                    for (ii, zi) in z.iter_mut().enumerate().take(jj) {
+                        *zi -= a.local[(lr0 + ii, lc0 + jj)] * zj;
                     }
                 }
                 ctx.compute(flops::dtrsm(kb, 1), 0);

@@ -17,6 +17,7 @@ use crate::grid::ProcessGrid;
 use greenla_linalg::blas3::dgemm;
 use greenla_linalg::flops;
 use greenla_linalg::generate::LinearSystem;
+use greenla_linalg::{BlockMut, BlockRef};
 use greenla_mpi::{Comm, RankCtx};
 
 /// Factor the distributed SPD matrix in place (lower triangle).
@@ -162,7 +163,13 @@ pub fn pdpotrf(ctx: &mut RankCtx, grid: &ProcessGrid, a: &mut DistMatrix) -> Res
                 let ld = a.local.ld();
                 let s = a.local.as_mut_slice();
                 let sub = &mut s[lr_cut + lj * ld..];
-                dgemm(mj, 1, kb, -1.0, &lrows, mj, &lcol, kb, 1.0, sub, ld);
+                dgemm(
+                    -1.0,
+                    BlockRef::new(&lrows, mj, kb, mj),
+                    BlockRef::new(&lcol, kb, 1, kb),
+                    1.0,
+                    BlockMut::new(sub, mj, 1, ld),
+                );
                 charged_flops += flops::dgemm(mj, 1, kb);
                 charged_elems += mj * kb + kb + mj;
             }
@@ -180,7 +187,6 @@ pub fn pdpotrf(ctx: &mut RankCtx, grid: &ProcessGrid, a: &mut DistMatrix) -> Res
 
 /// Solve `A·x = b` from the distributed lower Cholesky factor; `b`
 /// (replicated) is overwritten with `x` on every process.
-#[allow(clippy::needless_range_loop)] // index-coupled numeric loops
 pub fn pdpotrs(ctx: &mut RankCtx, grid: &ProcessGrid, a: &DistMatrix, b: &mut [f64]) {
     let d = a.desc;
     let n = d.n;
@@ -219,8 +225,8 @@ pub fn pdpotrs(ctx: &mut RankCtx, grid: &ProcessGrid, a: &DistMatrix, b: &mut [f
                 for jj in 0..kb {
                     z[jj] /= a.local[(lr0 + jj, lc0 + jj)];
                     let zj = z[jj];
-                    for ii in jj + 1..kb {
-                        z[ii] -= a.local[(lr0 + ii, lc0 + jj)] * zj;
+                    for (ii, zi) in z.iter_mut().enumerate().skip(jj + 1) {
+                        *zi -= a.local[(lr0 + ii, lc0 + jj)] * zj;
                     }
                 }
                 ctx.compute(flops::dtrsm(kb, 1), 0);
@@ -272,8 +278,8 @@ pub fn pdpotrs(ctx: &mut RankCtx, grid: &ProcessGrid, a: &DistMatrix, b: &mut [f
                 for jj in (0..kb).rev() {
                     z[jj] /= a.local[(lr0 + jj, lc0 + jj)];
                     let zj = z[jj];
-                    for ii in 0..jj {
-                        z[ii] -= a.local[(lr0 + jj, lc0 + ii)] * zj;
+                    for (ii, zi) in z.iter_mut().enumerate().take(jj) {
+                        *zi -= a.local[(lr0 + jj, lc0 + ii)] * zj;
                     }
                 }
                 ctx.compute(flops::dtrsm(kb, 1), 0);

@@ -171,8 +171,14 @@ impl RankTracer {
     }
 
     #[inline]
-    fn push(&mut self, kind: EventKind, cat: &'static str, name: &str, t_s: f64,
-            args: &[(&'static str, f64)]) {
+    fn push(
+        &mut self,
+        kind: EventKind,
+        cat: &'static str,
+        name: &str,
+        t_s: f64,
+        args: &[(&'static str, f64)],
+    ) {
         if self.shared.is_none() {
             return;
         }

@@ -153,8 +153,7 @@ impl Serialize for bool {
 
 impl Deserialize for bool {
     fn from_value(v: &Value) -> Result<Self, Error> {
-        v.as_bool()
-            .ok_or_else(|| Error::custom("expected boolean"))
+        v.as_bool().ok_or_else(|| Error::custom("expected boolean"))
     }
 }
 

@@ -73,7 +73,9 @@ fn parse_item(input: TokenStream) -> Item {
                 panic!("vendored serde_derive does not support generic types (deriving `{name}`)")
             }
             Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
-                panic!("vendored serde_derive does not support tuple/unit structs (deriving `{name}`)")
+                panic!(
+                    "vendored serde_derive does not support tuple/unit structs (deriving `{name}`)"
+                )
             }
             Some(_) => continue,
             None => panic!("expected a braced body deriving `{name}`"),
@@ -149,7 +151,9 @@ fn parse_serde_attr(stream: TokenStream) -> Option<String> {
     let mut iter = stream.into_iter();
     match iter.next() {
         Some(TokenTree::Ident(id)) if id.to_string() == "default" => {}
-        other => panic!("vendored serde_derive only supports `#[serde(default = \"path\")]`, got {other:?}"),
+        other => panic!(
+            "vendored serde_derive only supports `#[serde(default = \"path\")]`, got {other:?}"
+        ),
     }
     match iter.next() {
         Some(TokenTree::Punct(p)) if p.as_char() == '=' => {}
