@@ -33,6 +33,10 @@ struct Args {
     out: PathBuf,
     trace_out: Option<PathBuf>,
     check: bool,
+    bench_out: Option<PathBuf>,
+    bench_campaign: Option<PathBuf>,
+    bench_baseline: Option<PathBuf>,
+    bench_quick: bool,
 }
 
 fn parse_args() -> Args {
@@ -44,6 +48,10 @@ fn parse_args() -> Args {
         out: PathBuf::from("results"),
         trace_out: None,
         check: false,
+        bench_out: None,
+        bench_campaign: None,
+        bench_baseline: None,
+        bench_quick: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -63,8 +71,22 @@ fn parse_args() -> Args {
             "--trace-out" => {
                 args.trace_out = Some(PathBuf::from(it.next().expect("--trace-out needs a value")))
             }
+            "--bench-out" => {
+                args.bench_out = Some(PathBuf::from(it.next().expect("--bench-out needs a value")))
+            }
+            "--bench-campaign" => {
+                args.bench_campaign = Some(PathBuf::from(
+                    it.next().expect("--bench-campaign needs a value"),
+                ))
+            }
+            "--bench-baseline" => {
+                args.bench_baseline = Some(PathBuf::from(
+                    it.next().expect("--bench-baseline needs a value"),
+                ))
+            }
+            "--bench-quick" => args.bench_quick = true,
             "--help" | "-h" => {
-                println!("usage: repro [--exp all|table1|fig3..fig7|summary|overhead|powercap|trace] [--tier functional|model|both] [--reps N] [--smoke] [--out DIR] [--trace-out PATH] [--check]");
+                println!("usage: repro [--exp all|table1|fig3..fig7|summary|overhead|powercap|trace] [--tier functional|model|both] [--reps N] [--smoke] [--out DIR] [--trace-out PATH] [--check] [--bench-out PATH] [--bench-campaign PATH] [--bench-baseline PATH] [--bench-quick]");
                 std::process::exit(0);
             }
             other => {
@@ -89,6 +111,48 @@ fn main() {
     let model = args.tier == "model" || args.tier == "both";
     let wants = |e: &str| args.exp == "all" || args.exp == e;
     let t0 = Instant::now();
+
+    // Bench mode runs only the pinned suites and exits: CI's bench job (and
+    // local baseline regeneration) wants the timing artefacts without the
+    // figure campaign behind them.
+    if args.bench_out.is_some() || args.bench_campaign.is_some() || args.bench_baseline.is_some() {
+        use greenla_harness::bench::{campaign_suite, kernel_suite, BenchReport};
+        let write = |path: &PathBuf, report: &BenchReport| {
+            if let Some(dir) = path.parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir).expect("create bench dir");
+                }
+            }
+            let text = serde_json::to_string_pretty(report).expect("serialise bench report");
+            std::fs::write(path, text + "\n").expect("write bench report");
+            eprintln!("wrote {}", path.display());
+        };
+        let quick = if args.bench_quick { " [quick]" } else { "" };
+        if let Some(path) = &args.bench_out {
+            eprintln!("running kernel bench suite{quick}");
+            let report = BenchReport::new(vec![kernel_suite(args.bench_quick)]);
+            if let Some(sp) = report.speedup("kernels", "dgemm_packed_512", "dgemm_scalar_512") {
+                eprintln!("dgemm 512³ packed vs scalar reference: {sp:.2}x");
+            }
+            write(path, &report);
+        }
+        if let Some(path) = &args.bench_campaign {
+            eprintln!("running campaign bench suite{quick}");
+            let report = BenchReport::new(vec![campaign_suite(args.bench_quick)]);
+            write(path, &report);
+        }
+        // Both suites in one file — the shape `bench_gate --baseline` expects.
+        if let Some(path) = &args.bench_baseline {
+            eprintln!("running kernel + campaign suites for a fresh baseline{quick}");
+            let report = BenchReport::new(vec![
+                kernel_suite(args.bench_quick),
+                campaign_suite(args.bench_quick),
+            ]);
+            write(path, &report);
+        }
+        eprintln!("bench done in {:.1}s", t0.elapsed().as_secs_f64());
+        return;
+    }
 
     // Experiments that need the measurement campaign (--check alone also
     // runs it: the campaign is what gets checked).

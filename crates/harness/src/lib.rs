@@ -16,6 +16,7 @@
 //! claims (energy gap, power gap, load-level ordering, crossovers) and
 //! checks them against the paper's stated bands.
 
+pub mod bench;
 pub mod charts;
 pub mod chrome_trace;
 pub mod config;

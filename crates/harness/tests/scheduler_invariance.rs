@@ -1,0 +1,94 @@
+//! The wakeup-driven rank scheduler must be invisible in virtual time.
+//!
+//! Blocked ranks now park on condvars / blocking receives instead of
+//! sleep-polling, and checked runs still poll (the deadlock probe needs a
+//! heartbeat) while unchecked runs park. None of that may leak into the
+//! simulation: fixed-seed campaigns must produce byte-identical
+//! [`Measurement`]s run over run, checked and unchecked runs must agree
+//! bit for bit, and the observers must see the exact same event stream.
+
+use greenla_cluster::placement::LoadLayout;
+use greenla_harness::chrome_trace::traced_solve;
+use greenla_harness::run::{run_once, Measurement, RunConfig};
+use greenla_harness::SolverChoice;
+use greenla_linalg::generate::SystemKind;
+
+fn cfg(solver: SolverChoice, check: bool) -> RunConfig {
+    RunConfig {
+        n: 96,
+        ranks: 16,
+        layout: LoadLayout::FullLoad,
+        solver,
+        system: SystemKind::DiagDominant,
+        cores_per_socket: 4,
+        seed: 11,
+        check,
+    }
+}
+
+/// Bit-level equality of everything a campaign records.
+fn assert_bit_identical(a: &Measurement, b: &Measurement, what: &str) {
+    let bits = |m: &Measurement| {
+        let mut v = vec![
+            m.duration_s.to_bits(),
+            m.total_energy_j.to_bits(),
+            m.pkg_energy_j.to_bits(),
+            m.dram_energy_j.to_bits(),
+            m.mean_power_w.to_bits(),
+            m.residual.to_bits(),
+            m.msgs,
+            m.volume_elems,
+            m.nodes as u64,
+        ];
+        v.extend(m.pkg_by_socket_j.iter().map(|x| x.to_bits()));
+        v.extend(m.dram_by_socket_j.iter().map(|x| x.to_bits()));
+        v
+    };
+    assert_eq!(
+        bits(a),
+        bits(b),
+        "{what}: measurements must be bit-identical"
+    );
+}
+
+#[test]
+fn repeated_runs_are_bit_identical() {
+    for solver in [SolverChoice::ime_optimized(), SolverChoice::scalapack()] {
+        let first = run_once(&cfg(solver, false));
+        let second = run_once(&cfg(solver, false));
+        assert_bit_identical(&first, &second, "repeat, unchecked");
+    }
+}
+
+#[test]
+fn parked_and_polling_schedulers_agree() {
+    // Unchecked runs park in blocking waits; checked runs poll with a
+    // timeout so the deadlock probe keeps running. Two different wall-clock
+    // wait mechanisms, one virtual timeline.
+    let polled = run_once(&cfg(SolverChoice::ime_optimized(), true));
+    let parked = run_once(&cfg(SolverChoice::ime_optimized(), false));
+    assert!(polled.violations.is_empty(), "{:#?}", polled.violations);
+    assert_bit_identical(&polled, &parked, "checked vs unchecked");
+}
+
+#[test]
+fn trace_event_stream_is_identical_across_runs() {
+    let run = |_: u32| traced_solve(SolverChoice::ime_optimized(), 96, 16, 11);
+    let first = run(0);
+    let second = run(1);
+    assert_eq!(first.event_count, second.event_count);
+    assert!(first.event_count > 0, "traced run must record events");
+    assert_eq!(
+        first.makespan_s.to_bits(),
+        second.makespan_s.to_bits(),
+        "virtual makespan must not depend on wall-clock scheduling"
+    );
+    let text = |r: &greenla_harness::chrome_trace::TracedSolve| {
+        serde_json::to_string(&r.trace).expect("serialise trace")
+    };
+    assert_eq!(
+        text(&first),
+        text(&second),
+        "observers must see an unchanged event stream"
+    );
+}

@@ -19,7 +19,7 @@
 use crate::error::ImeError;
 use crate::par::owner;
 use crate::table::init_column;
-use greenla_linalg::blas1::ddot;
+use greenla_linalg::blas1::{daxpy, ddot};
 use greenla_linalg::flops;
 use greenla_linalg::generate::LinearSystem;
 use greenla_mpi::{Comm, RankCtx};
@@ -218,14 +218,13 @@ fn restore(cols: &mut [(usize, Vec<f64>)], column: usize, data: Vec<f64>) {
     slot.1 = data;
 }
 
-fn apply_level(col: &mut [f64], l: usize, h: &[f64], hl: f64) {
+/// One column's fundamental update, branch-free: the rows above and below
+/// `l` are two contiguous daxpy runs (no per-element `i != l` test), shared
+/// by the sequential, parallel and fault-tolerant paths.
+pub(crate) fn apply_level(col: &mut [f64], l: usize, h: &[f64], hl: f64) {
     let tl = col[l];
-    if tl != 0.0 {
-        for (i, v) in col.iter_mut().enumerate() {
-            if i != l {
-                *v -= h[i] * tl;
-            }
-        }
-        col[l] = hl * tl;
-    }
+    let (above, rest) = col.split_at_mut(l);
+    daxpy(-tl, &h[..l], above);
+    daxpy(-tl, &h[l + 1..], &mut rest[1..]);
+    rest[0] = hl * tl;
 }

@@ -256,15 +256,8 @@ pub fn reduce_table(
                 }
                 continue;
             }
-            let tl = col[l];
-            if tl != 0.0 {
-                for i in 0..n {
-                    if i != l {
-                        col[i] -= h[i] * tl;
-                    }
-                }
-                col[l] = hl * tl;
-            }
+            // Branch-free sweep shared with the sequential and FT paths.
+            crate::ft::apply_level(col, l, h, hl);
             touched += 1;
         }
         ctx.compute(

@@ -47,16 +47,7 @@ pub fn solve_seq(sys: &LinearSystem) -> Result<(Vec<f64>, ImeStats), ImeError> {
         stats.flops += n as u64 + 1;
         // Active columns: left l..n, right 0..l (global n..n+l).
         let update_col = |t: &mut greenla_linalg::Matrix, c: usize, h: &[f64]| {
-            let tl = t[(l, c)];
-            if tl != 0.0 {
-                for i in 0..n {
-                    if i != l {
-                        let hi = h[i];
-                        t[(i, c)] -= hi * tl;
-                    }
-                }
-                t[(l, c)] = hl * tl;
-            }
+            crate::ft::apply_level(t.col_mut(c), l, h, hl);
         };
         for c in l..n {
             update_col(&mut t, c, &h);

@@ -1,0 +1,43 @@
+//! Quick GFLOP/s probe: packed dgemm vs the scalar reference. Run with
+//! `cargo run --release -p greenla-linalg --example perf_probe [n [mc nc kc]]`.
+use greenla_linalg::blas3::{dgemm_blocked, dgemm_reference};
+use greenla_linalg::tune::Blocking;
+use greenla_linalg::Matrix;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|s| s.parse().ok())
+        .collect();
+    let n = args.first().copied().unwrap_or(512);
+    let mut tune = Blocking::default_blocking();
+    if args.len() >= 4 {
+        tune = Blocking {
+            mc: args[1],
+            nc: args[2],
+            kc: args[3],
+        };
+    }
+    let a = Matrix::from_fn(n, n, |i, j| ((i * 7 + j * 13) % 17) as f64 - 8.0);
+    let b = Matrix::from_fn(n, n, |i, j| ((i * 3 + j * 5) % 11) as f64 - 5.0);
+    let flops = 2.0 * (n as f64).powi(3);
+    let mut c = Matrix::zeros(n, n);
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        dgemm_blocked(1.0, a.block(), b.block(), 0.0, c.block_mut(), &tune);
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    println!(
+        "packed: {best:.3}s  {:.2} GFLOP/s  {tune:?}",
+        flops / best / 1e9
+    );
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        dgemm_reference(1.0, a.block(), b.block(), 0.0, c.block_mut());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    println!("scalar: {best:.3}s  {:.2} GFLOP/s", flops / best / 1e9);
+}

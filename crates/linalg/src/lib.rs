@@ -19,6 +19,7 @@ pub mod io;
 pub mod matrix;
 pub mod norms;
 pub mod permutation;
+pub mod tune;
 
 pub use block::{BlockMut, BlockRef};
 pub use generate::LinearSystem;

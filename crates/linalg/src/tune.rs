@@ -1,0 +1,94 @@
+//! Cache-blocking and microkernel tuning knobs for the Level-3 kernels.
+//!
+//! The packed [`crate::blas3`] kernels traverse `C ← α·A·B + β·C` in the
+//! canonical three-loop blocked order (columns of `C` in `NC`-wide slabs,
+//! the `k` dimension in `KC`-deep panels, rows of `C` in `MC`-tall blocks),
+//! packing each `MC×KC` block of `A` and `KC×NC` panel of `B` once into
+//! contiguous, microkernel-ordered buffers. The register microkernel shape
+//! is fixed at compile time ([`MR`]`×`[`NR`]); the cache-level block sizes
+//! are runtime values so benchmarks (and future autotuning) can sweep them
+//! through one place instead of editing three hard-coded consts.
+
+/// Microkernel tile height: rows of `C` updated per microkernel call.
+/// Eight `f64`s = two AVX2 vectors, four SSE2 vectors, or one AVX-512
+/// vector, so each accumulator column is a whole number of registers at
+/// every vector width LLVM may pick.
+pub const MR: usize = 8;
+
+/// Microkernel tile width: columns of `C` updated per microkernel call.
+/// 8×8 measured fastest across ISAs on the 512³ probe: with AVX2 the
+/// 64-element accumulator tile is exactly the 16-register ymm file, and
+/// with AVX-512 it is 8 zmm registers — enough independent FMA chains to
+/// cover the 4-cycle FMA latency, which the issue's initial 8×4 shape
+/// (4 zmm accumulators) was not (19 → 25 GFLOP/s on the dev box).
+pub const NR: usize = 8;
+
+/// Cache-level blocking parameters for the packed GEMM loop nest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Blocking {
+    /// Rows of `A` packed per block; the `MC×KC` packed block of `A` should
+    /// sit comfortably in L2. Must be a multiple of [`MR`].
+    pub mc: usize,
+    /// Columns of `B` packed per panel; bounds the packed-`B` working set.
+    /// Must be a multiple of [`NR`].
+    pub nc: usize,
+    /// Shared (inner-product) depth per panel; an `MR×KC` micro-panel of
+    /// `A` plus a `KC×NR` micro-panel of `B` should fit in L1.
+    pub kc: usize,
+}
+
+impl Blocking {
+    /// Default blocking: `MC×KC` of `A` = 256 KiB (L2-resident on anything
+    /// Skylake-class or newer), `MR×KC` + `KC×NR` micro-panels ≈ 24 KiB
+    /// (L1-resident).
+    pub const fn default_blocking() -> Self {
+        Blocking {
+            mc: 128,
+            nc: 512,
+            kc: 256,
+        }
+    }
+
+    /// Panics unless the block sizes are positive and microkernel-aligned.
+    pub fn validate(&self) {
+        assert!(self.mc > 0 && self.nc > 0 && self.kc > 0, "zero block size");
+        assert_eq!(self.mc % MR, 0, "mc {} not a multiple of MR {MR}", self.mc);
+        assert_eq!(self.nc % NR, 0, "nc {} not a multiple of NR {NR}", self.nc);
+    }
+}
+
+impl Default for Blocking {
+    fn default() -> Self {
+        Self::default_blocking()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        Blocking::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple of MR")]
+    fn misaligned_mc_rejected() {
+        Blocking {
+            mc: MR + 1,
+            ..Blocking::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "zero block size")]
+    fn zero_block_rejected() {
+        Blocking {
+            kc: 0,
+            ..Blocking::default()
+        }
+        .validate();
+    }
+}

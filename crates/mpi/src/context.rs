@@ -16,6 +16,10 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
+/// Poll period for *checked* runs only: how often a blocked receiver wakes
+/// to run the deadlock probe. Unchecked runs park in a blocking receive and
+/// consume no CPU until a message (or the registry's abort control message)
+/// arrives.
 const POLL: Duration = Duration::from_millis(25);
 
 /// Tag bit reserved for collective-internal messages; user tags must stay
@@ -274,6 +278,46 @@ impl<'m> RankCtx<'m> {
         }
     }
 
+    /// Move the next wire envelope into the pending queue, blocking until
+    /// one arrives. Unchecked runs park the OS thread (zero CPU while
+    /// blocked) and rely on [`crate::registry::Registry::poison`]'s abort
+    /// control message to wake them on a peer failure; checked runs use a
+    /// timed wait so the deadlock probe keeps running. Only wall-clock
+    /// behaviour differs — the virtual clocks never see the difference.
+    fn pump_mailbox(&mut self, src: usize, tag: u64) {
+        let env = if self.checker.enabled() {
+            match self.rx.recv_timeout(POLL) {
+                Ok(env) => env,
+                Err(RecvTimeoutError::Timeout) => {
+                    if let Some(msg) = self.checker.probe_deadlock() {
+                        self.registry.poison();
+                        panic!("{msg}");
+                    }
+                    if self.registry.is_poisoned() {
+                        panic!("{}", self.checker.abort_message());
+                    }
+                    return;
+                }
+                Err(RecvTimeoutError::Disconnected) => panic!(
+                    "all peers gone while rank {} waits for ({src}, {tag})",
+                    self.rank
+                ),
+            }
+        } else {
+            match self.rx.recv() {
+                Ok(env) => env,
+                Err(_) => panic!(
+                    "all peers gone while rank {} waits for ({src}, {tag})",
+                    self.rank
+                ),
+            }
+        };
+        if env.is_control() {
+            panic!("{}", self.checker.abort_message());
+        }
+        self.pending.push(env);
+    }
+
     pub(crate) fn recv_payload(&mut self, comm: &Comm, src_index: usize, tag: u64) -> Payload {
         let src = comm.global_rank(src_index);
         assert!(src != self.rank, "self-receive on comm {}", comm.id());
@@ -307,24 +351,7 @@ impl<'m> RankCtx<'m> {
                 }
                 return env.payload;
             }
-            match self.rx.recv_timeout(POLL) {
-                Ok(env) => self.pending.push(env),
-                Err(RecvTimeoutError::Timeout) => {
-                    if let Some(msg) = self.checker.probe_deadlock() {
-                        self.registry.poison();
-                        panic!("{msg}");
-                    }
-                    if self.registry.is_poisoned() {
-                        panic!("{}", self.checker.abort_message());
-                    }
-                }
-                Err(RecvTimeoutError::Disconnected) => {
-                    panic!(
-                        "all peers gone while rank {} waits for ({src}, {tag})",
-                        self.rank
-                    )
-                }
-            }
+            self.pump_mailbox(src, tag);
         }
     }
 
@@ -337,6 +364,9 @@ impl<'m> RankCtx<'m> {
         let src = comm.global_rank(src_index);
         let cid = comm.id();
         while let Ok(env) = self.rx.try_recv() {
+            if env.is_control() {
+                panic!("{}", self.checker.abort_message());
+            }
             self.pending.push(env);
         }
         self.pending
@@ -386,24 +416,7 @@ impl<'m> RankCtx<'m> {
                 }
                 return env.payload.expect_f64();
             }
-            match self.rx.recv_timeout(POLL) {
-                Ok(env) => self.pending.push(env),
-                Err(RecvTimeoutError::Timeout) => {
-                    if let Some(msg) = self.checker.probe_deadlock() {
-                        self.registry.poison();
-                        panic!("{msg}");
-                    }
-                    if self.registry.is_poisoned() {
-                        panic!("{}", self.checker.abort_message());
-                    }
-                }
-                Err(RecvTimeoutError::Disconnected) => {
-                    panic!(
-                        "all peers gone while rank {} idles for ({src_g}, {tag})",
-                        self.rank
-                    )
-                }
-            }
+            self.pump_mailbox(src_g, tag);
         }
     }
 

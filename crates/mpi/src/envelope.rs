@@ -41,6 +41,10 @@ impl Payload {
     }
 }
 
+/// Communicator id reserved for runtime control messages. Real ids are
+/// allocated upward from 0 (the world), so they can never collide with it.
+pub const CONTROL_COMM: u64 = u64::MAX;
+
 /// A message travelling between ranks.
 #[derive(Debug)]
 pub struct Envelope {
@@ -53,6 +57,26 @@ pub struct Envelope {
     /// Virtual time at which the message is fully available at the receiver.
     pub arrival: f64,
     pub payload: Payload,
+}
+
+impl Envelope {
+    /// The abort control message the registry posts to every mailbox on
+    /// poison, so ranks parked in a blocking receive wake up and fail fast
+    /// instead of waiting on a message that will never come.
+    pub fn control_abort() -> Self {
+        Envelope {
+            src: usize::MAX,
+            comm_id: CONTROL_COMM,
+            tag: 0,
+            arrival: f64::INFINITY,
+            payload: Payload::Bytes(Vec::new()),
+        }
+    }
+
+    /// Is this a runtime control message (not rank traffic)?
+    pub fn is_control(&self) -> bool {
+        self.comm_id == CONTROL_COMM
+    }
 }
 
 #[cfg(test)]

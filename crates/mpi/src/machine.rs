@@ -177,6 +177,7 @@ impl Machine {
             rxs.push(rx);
         }
         let txs = Arc::new(txs);
+        registry.set_wakers(&txs);
         let world_members: Arc<Vec<usize>> = Arc::new((0..n).collect());
         let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let clocks: Vec<Mutex<f64>> = (0..n).map(|_| Mutex::new(0.0)).collect();
@@ -251,12 +252,17 @@ impl Machine {
             // finalize was sent but never received (MSG001).
             for (rank, slot) in mailboxes.iter().enumerate() {
                 if let Some((rx, pending)) = slot.lock().take() {
+                    // Abort control messages are runtime plumbing, not rank
+                    // traffic — never report them as leaks.
                     let mut leaked: Vec<(usize, u64, u64, f64)> = pending
                         .iter()
+                        .filter(|e| !e.is_control())
                         .map(|e| (e.src, e.comm_id, e.tag, e.arrival))
                         .collect();
                     while let Ok(e) = rx.try_recv() {
-                        leaked.push((e.src, e.comm_id, e.tag, e.arrival));
+                        if !e.is_control() {
+                            leaked.push((e.src, e.comm_id, e.tag, e.arrival));
+                        }
                     }
                     if !leaked.is_empty() {
                         self.check.report_residue(rank, &leaked);
@@ -655,6 +661,41 @@ mod tests {
                 }
                 // Everyone else blocks in a barrier rank 3 never joins.
                 ctx.barrier(&world);
+            })
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn rank_panic_unblocks_blocking_receivers() {
+        // Ranks 1..7 park in a blocking receive on a message rank 0 never
+        // sends; the abort control message posted by poison() must wake
+        // them (no timeout polling exists on the unchecked path).
+        let m = machine(8);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            m.run(|ctx| {
+                let world = ctx.world();
+                if ctx.rank() == 0 {
+                    panic!("injected fault");
+                }
+                ctx.recv_f64(&world, 0, 1);
+            })
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn rank_panic_unblocks_checked_receivers() {
+        // Same shape with the checker attached: the timed-wait path must
+        // also observe the poison and fail the run rather than hang.
+        let m = machine(8).with_check(greenla_check::CheckSink::enabled());
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            m.run(|ctx| {
+                let world = ctx.world();
+                if ctx.rank() == 0 {
+                    panic!("injected fault");
+                }
+                ctx.recv_f64(&world, 0, 1);
             })
         }));
         assert!(r.is_err());

@@ -12,6 +12,8 @@
 //! The registry is also the abort channel: when any rank panics, the machine
 //! poisons it so blocked peers fail fast instead of deadlocking.
 
+use crate::envelope::Envelope;
+use crossbeam_channel::Sender;
 use greenla_check::CheckSink;
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
@@ -79,12 +81,19 @@ pub struct Registry {
     barrier_cv: Condvar,
     splits: Mutex<HashMap<(u64, u64), SplitState>>,
     split_cv: Condvar,
-    /// Checking sink of the owning machine (disabled by default). Waiters
-    /// run its deadlock probe from their poll loops, so a run where every
-    /// rank is stuck aborts with a diagnostic instead of hanging.
+    /// Checking sink of the owning machine (disabled by default). When it is
+    /// enabled, waiters fall back to timed waits so they can run its
+    /// deadlock probe periodically; otherwise they park on the condvars and
+    /// consume no CPU until notified.
     check: CheckSink,
+    /// One sender per rank mailbox; [`Registry::poison`] posts an abort
+    /// control message to each so ranks parked in a blocking receive wake
+    /// up (condvar notification only reaches registry waiters).
+    wakers: Mutex<Vec<Sender<Envelope>>>,
 }
 
+/// Poll period for *checked* runs only: how often blocked waiters wake to
+/// run the deadlock probe. Unchecked runs never poll.
 const POLL: Duration = Duration::from_millis(25);
 
 impl Registry {
@@ -97,6 +106,7 @@ impl Registry {
             splits: Mutex::new(HashMap::new()),
             split_cv: Condvar::new(),
             check: CheckSink::disabled(),
+            wakers: Mutex::new(Vec::new()),
         }
     }
 
@@ -106,11 +116,33 @@ impl Registry {
         self
     }
 
-    /// Mark the run as failed; every blocked rank will panic out.
+    /// Register the rank mailboxes poison should wake (called once by the
+    /// machine before spawning rank threads).
+    pub fn set_wakers(&self, txs: &[Sender<Envelope>]) {
+        *self.wakers.lock() = txs.to_vec();
+    }
+
+    /// Mark the run as failed; every blocked rank will panic out. Ranks
+    /// parked on the registry condvars are notified directly; ranks parked
+    /// in a blocking mailbox receive get an abort control message.
     pub fn poison(&self) {
         self.poisoned.store(true, Ordering::SeqCst);
-        self.barrier_cv.notify_all();
-        self.split_cv.notify_all();
+        // Notify while holding each map's lock: an untimed waiter either
+        // observed the flag under the lock (and is about to panic) or is
+        // already parked in `wait` and receives this notification — the
+        // lost-wakeup window between the check and the wait is closed.
+        {
+            let _g = self.barriers.lock();
+            self.barrier_cv.notify_all();
+        }
+        {
+            let _g = self.splits.lock();
+            self.split_cv.notify_all();
+        }
+        for tx in self.wakers.lock().iter() {
+            // A closed mailbox means that rank is already gone — fine.
+            let _ = tx.send(Envelope::control_abort());
+        }
     }
 
     /// Has the run been poisoned by a peer's failure?
@@ -124,14 +156,15 @@ impl Registry {
         }
     }
 
-    /// One iteration of a waiter's poll loop: abort on poison, declare a
-    /// deadlock (and poison the run) if the probe finds one.
-    fn poll_waiter(&self) {
+    /// One iteration of a checked waiter's poll loop: abort on poison, and
+    /// report a deadlock if the probe finds one. The caller must drop its
+    /// state-map guard and call [`Registry::poison`] before panicking with
+    /// the returned message — `poison` notifies under the map locks, so
+    /// poisoning while holding one self-deadlocks.
+    #[must_use]
+    fn poll_waiter(&self) -> Option<String> {
         self.check_poison();
-        if let Some(msg) = self.check.probe_deadlock() {
-            self.poison();
-            panic!("{msg}");
-        }
+        self.check.probe_deadlock()
     }
 
     /// Enter a barrier on `(comm_id, seq)` with `expected` participants at
@@ -167,8 +200,17 @@ impl Registry {
                 }
                 return rt;
             }
-            self.poll_waiter();
-            self.barrier_cv.wait_for(&mut map, POLL);
+            if self.check.is_enabled() {
+                if let Some(msg) = self.poll_waiter() {
+                    drop(map);
+                    self.poison();
+                    panic!("{msg}");
+                }
+                self.barrier_cv.wait_for(&mut map, POLL);
+            } else {
+                self.check_poison();
+                self.barrier_cv.wait(&mut map);
+            }
         }
     }
 
@@ -250,8 +292,17 @@ impl Registry {
                 }
                 return mine;
             }
-            self.poll_waiter();
-            self.split_cv.wait_for(&mut map, POLL);
+            if self.check.is_enabled() {
+                if let Some(msg) = self.poll_waiter() {
+                    drop(map);
+                    self.poison();
+                    panic!("{msg}");
+                }
+                self.split_cv.wait_for(&mut map, POLL);
+            } else {
+                self.check_poison();
+                self.split_cv.wait(&mut map);
+            }
         }
     }
 

@@ -97,6 +97,15 @@ impl Condvar {
         self.0.notify_all();
     }
 
+    /// Block until notified (no timeout). The guard is re-acquired in
+    /// place, matching `parking_lot`'s `&mut` guard signature. Subject to
+    /// spurious wakeups like any condvar — callers loop on their predicate.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("guard taken during wait");
+        let inner = self.0.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(inner);
+    }
+
     /// Block until notified or `timeout` elapses. The guard is re-acquired
     /// in place, matching `parking_lot`'s `&mut` guard signature.
     pub fn wait_for<T>(
@@ -137,6 +146,26 @@ mod tests {
         })
         .join();
         assert_eq!(*m.lock(), 0); // parking_lot semantics: no poisoning
+    }
+
+    #[test]
+    fn wait_wakes_on_notify() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut g = m.lock();
+            while !*g {
+                cv.wait(&mut g);
+            }
+            *g
+        });
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        assert!(h.join().unwrap());
     }
 
     #[test]
