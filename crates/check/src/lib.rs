@@ -14,7 +14,7 @@
 //!
 //! * **Deadlock (DL001)** — a wait-for graph over blocked ranks; when every
 //!   live rank is blocked and nothing has changed for
-//!   [`DEADLOCK_GRACE`](sink::DEADLOCK_GRACE), the probe reports the cycle
+//!   [`DEADLOCK_GRACE`], the probe reports the cycle
 //!   (ranks, tags, communicators) and aborts the run instead of hanging it.
 //! * **Message hygiene (MSG001)** — mailbox residue at finalize: every
 //!   sent-but-never-received message is named.

@@ -234,6 +234,7 @@ pub fn campaign_suite(quick: bool) -> BenchSuite {
                 cores_per_socket: 8,
                 seed: 42,
                 check: false,
+                faults: None,
             };
             let mut virtual_s = 0.0;
             let wall = median_wall(reps, || {

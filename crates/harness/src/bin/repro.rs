@@ -10,6 +10,10 @@
 //!       [--check]                        (run the campaign under the MPI
 //!                                         correctness checker; nonzero exit
 //!                                         on any diagnostic)
+//!       [--faults PLAN.json]             (inject the deterministic fault
+//!                                         plan into every campaign run and
+//!                                         report injected vs. observed vs.
+//!                                         recovered faults)
 //! ```
 //!
 //! Functional-tier figures come from real monitored solves on the scaled
@@ -33,6 +37,7 @@ struct Args {
     out: PathBuf,
     trace_out: Option<PathBuf>,
     check: bool,
+    faults: Option<PathBuf>,
     bench_out: Option<PathBuf>,
     bench_campaign: Option<PathBuf>,
     bench_baseline: Option<PathBuf>,
@@ -48,6 +53,7 @@ fn parse_args() -> Args {
         out: PathBuf::from("results"),
         trace_out: None,
         check: false,
+        faults: None,
         bench_out: None,
         bench_campaign: None,
         bench_baseline: None,
@@ -67,6 +73,9 @@ fn parse_args() -> Args {
             }
             "--smoke" => args.smoke = true,
             "--check" => args.check = true,
+            "--faults" => {
+                args.faults = Some(PathBuf::from(it.next().expect("--faults needs a value")))
+            }
             "--out" => args.out = PathBuf::from(it.next().expect("--out needs a value")),
             "--trace-out" => {
                 args.trace_out = Some(PathBuf::from(it.next().expect("--trace-out needs a value")))
@@ -86,7 +95,7 @@ fn parse_args() -> Args {
             }
             "--bench-quick" => args.bench_quick = true,
             "--help" | "-h" => {
-                println!("usage: repro [--exp all|table1|fig3..fig7|summary|overhead|powercap|trace] [--tier functional|model|both] [--reps N] [--smoke] [--out DIR] [--trace-out PATH] [--check] [--bench-out PATH] [--bench-campaign PATH] [--bench-baseline PATH] [--bench-quick]");
+                println!("usage: repro [--exp all|table1|fig3..fig7|summary|overhead|powercap|trace] [--tier functional|model|both] [--reps N] [--smoke] [--out DIR] [--trace-out PATH] [--check] [--faults PLAN.json] [--bench-out PATH] [--bench-campaign PATH] [--bench-baseline PATH] [--bench-quick]");
                 std::process::exit(0);
             }
             other => {
@@ -154,10 +163,20 @@ fn main() {
         return;
     }
 
-    // Experiments that need the measurement campaign (--check alone also
-    // runs it: the campaign is what gets checked).
+    // A fault plan turns the campaign into a chaos run: parse it up front
+    // so a malformed plan fails before any work happens.
+    let fault_plan = args.faults.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("read fault plan {}: {e}", path.display()));
+        serde_json::from_str::<greenla_mpi::FaultPlan>(&text)
+            .unwrap_or_else(|e| panic!("parse fault plan {}: {e}", path.display()))
+    });
+
+    // Experiments that need the measurement campaign (--check or --faults
+    // alone also run it: the campaign is what gets checked/faulted).
     let needs_data = functional
         && (args.check
+            || fault_plan.is_some()
             || ["fig3", "fig4", "fig5", "fig6", "fig7", "summary"]
                 .iter()
                 .any(|e| wants(e)));
@@ -169,12 +188,18 @@ fn main() {
         };
         grid.reps = args.reps;
         grid.check = args.check;
+        grid.faults = fault_plan.clone();
         eprintln!(
             "running functional campaign: dims {:?} × ranks {:?} × 3 layouts × 2 solvers × {} reps{}",
             grid.dims,
             grid.ranks,
             grid.reps,
-            if grid.check { " [checked]" } else { "" }
+            match (grid.check, grid.faults.is_some()) {
+                (true, true) => " [checked, faulted]",
+                (true, false) => " [checked]",
+                (false, true) => " [faulted]",
+                (false, false) => "",
+            }
         );
         let ds = Dataset::campaign(&grid, |msg| {
             eprintln!("  [{:6.1}s] {msg}", t0.elapsed().as_secs_f64())
@@ -205,6 +230,29 @@ fn main() {
         if !diags.is_empty() {
             std::process::exit(1);
         }
+    }
+
+    if fault_plan.is_some() {
+        use greenla_mpi::FaultReport;
+        let ds = dataset.as_ref().expect("--faults implies a campaign");
+        let mut agg = FaultReport::default();
+        let mut runs = 0usize;
+        for (_, r) in ds.fault_reports() {
+            agg.merge(r);
+            runs += 1;
+        }
+        write_json(&args.out, "fault_reports.json", &agg).expect("write fault reports");
+        eprintln!(
+            "faults over {runs} run(s): injected {} observed {} recovered {}{}",
+            agg.injected.total(),
+            agg.observed.total(),
+            agg.recovered.total(),
+            if agg.degraded_nodes.is_empty() {
+                String::new()
+            } else {
+                format!(" (degraded nodes: {:?})", agg.degraded_nodes)
+            }
+        );
     }
 
     if wants("table1") {

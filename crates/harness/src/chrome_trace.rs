@@ -25,11 +25,12 @@ use crate::config::SolverChoice;
 use greenla_cluster::placement::{LoadLayout, Placement};
 use greenla_cluster::spec::ClusterSpec;
 use greenla_cluster::PowerModel;
+use greenla_ime::ft::solve_imep_ft;
 use greenla_ime::solve_imep;
 use greenla_linalg::generate;
 use greenla_monitor::monitoring::MonitorConfig;
 use greenla_monitor::protocol::monitored_run;
-use greenla_mpi::{EventKind, Machine, TraceEvent, TraceSink};
+use greenla_mpi::{EventKind, FaultPlan, FaultReport, FaultSink, Machine, TraceEvent, TraceSink};
 use greenla_rapl::{Domain, RaplSim};
 use greenla_scalapack::pdgesv::pdgesv;
 use serde_json::Value;
@@ -216,13 +217,20 @@ fn build_machine(ranks: usize, seed: u64) -> Machine {
 }
 
 fn run_solve(machine: &Machine, solver: SolverChoice, n: usize, seed: u64) -> f64 {
-    let rapl = Arc::new(RaplSim::new(
-        machine.ledger(),
-        machine.power().clone(),
-        seed,
-    ));
+    // The machine's fault sink (disabled by default) is shared with the
+    // RAPL simulator so counter faults land in the same report; a faulted
+    // run monitors in degraded mode and routes IMe through the
+    // checksum-protected solver, exactly like the measurement runner.
+    let faulted = machine.faults().is_enabled();
+    let rapl = Arc::new(
+        RaplSim::new(machine.ledger(), machine.power().clone(), seed)
+            .with_faults(machine.faults().clone()),
+    );
     let sys = generate::diag_dominant(n, 3131);
-    let mon_cfg = MonitorConfig::default();
+    let mon_cfg = MonitorConfig {
+        degrade_on_fault: faulted,
+        ..MonitorConfig::default()
+    };
     let out = machine.run(|ctx| {
         let world = ctx.world();
         monitored_run(ctx, &rapl, &mon_cfg, |ctx, handle| {
@@ -230,6 +238,9 @@ fn run_solve(machine: &Machine, solver: SolverChoice, n: usize, seed: u64) -> f6
             ctx.touch_memory(local_share);
             handle.phase(ctx, "allocation").expect("phase mark");
             match solver {
+                SolverChoice::Ime { .. } if faulted => {
+                    solve_imep_ft(ctx, &world, &sys, None).expect("IMe FT solve");
+                }
                 SolverChoice::Ime { .. } => {
                     solve_imep(ctx, &world, &sys, solver.imep_options().unwrap())
                         .expect("IMe solve");
@@ -264,4 +275,30 @@ pub fn traced_solve(solver: SolverChoice, n: usize, ranks: usize, seed: u64) -> 
 pub fn untraced_makespan(solver: SolverChoice, n: usize, ranks: usize, seed: u64) -> f64 {
     let machine = build_machine(ranks, seed);
     run_solve(&machine, solver, n, seed)
+}
+
+/// [`traced_solve`] under a (recoverable) fault plan: the exported trace
+/// carries the `fault:*` instants the injection points emitted, and the
+/// sink's consolidated [`FaultReport`] rides along. Fully deterministic in
+/// `(solver, n, ranks, seed, plan)`.
+pub fn traced_faulted_solve(
+    solver: SolverChoice,
+    n: usize,
+    ranks: usize,
+    seed: u64,
+    plan: &FaultPlan,
+) -> (TracedSolve, FaultReport) {
+    let sink = FaultSink::with_plan(plan.clone());
+    let machine = build_machine(ranks, seed)
+        .with_trace(TraceSink::enabled())
+        .with_faults(sink.clone());
+    let makespan_s = run_solve(&machine, solver, n, seed);
+    let events = machine.trace().drain();
+    let rapl = RaplSim::new(machine.ledger(), machine.power().clone(), seed);
+    let traced = TracedSolve {
+        trace: chrome_trace_json(&events, &rapl, makespan_s, COUNTER_SAMPLES),
+        makespan_s,
+        event_count: events.len(),
+    };
+    (traced, sink.report())
 }

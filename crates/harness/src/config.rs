@@ -3,6 +3,7 @@
 use greenla_cluster::placement::LoadLayout;
 use greenla_cluster::spec::{ClusterSpec, NodeSpec};
 use greenla_ime::par::ImepOptions;
+use greenla_mpi::FaultPlan;
 use serde::{Deserialize, Serialize};
 
 /// Which solver a run exercises.
@@ -86,6 +87,10 @@ pub struct FunctionalGrid {
     /// and record its diagnostics in the dataset.
     #[serde(default = "default_false")]
     pub check: bool,
+    /// Deterministic fault plan injected into every run of the campaign
+    /// (`repro --faults plan.json`); `None` disables all fault hooks.
+    #[serde(default = "Default::default")]
+    pub faults: Option<FaultPlan>,
 }
 
 /// Serde default for opt-in boolean knobs.
@@ -103,6 +108,7 @@ impl Default for FunctionalGrid {
             cores_per_socket: 4,
             base_seed: 2023,
             check: false,
+            faults: None,
         }
     }
 }

@@ -6,12 +6,13 @@ use crate::config::{default_false, FunctionalGrid, SolverChoice};
 use greenla_cluster::placement::{LoadLayout, Placement};
 use greenla_cluster::spec::ClusterSpec;
 use greenla_cluster::PowerModel;
+use greenla_ime::ft::solve_imep_ft;
 use greenla_ime::solve_imep;
 use greenla_linalg::generate::{LinearSystem, SystemKind};
 use greenla_monitor::monitoring::MonitorConfig;
 use greenla_monitor::protocol::monitored_run;
 use greenla_monitor::report::{JobSummary, NodeReport};
-use greenla_mpi::{CheckSink, Machine, Violation};
+use greenla_mpi::{CheckSink, FaultPlan, FaultReport, FaultSink, Machine, Violation};
 use greenla_rapl::RaplSim;
 use greenla_scalapack::pdgesv::pdgesv;
 use serde::{Deserialize, Serialize};
@@ -30,6 +31,10 @@ pub struct RunConfig {
     /// Attach the greenla-check correctness sink to the run.
     #[serde(default = "default_false")]
     pub check: bool,
+    /// Deterministic fault plan injected into the run; `None` (the default
+    /// for every pre-existing dataset) leaves all fault hooks disabled.
+    #[serde(default = "Default::default")]
+    pub faults: Option<FaultPlan>,
 }
 
 /// Serde default for the violations carried by older datasets.
@@ -55,6 +60,10 @@ pub struct Measurement {
     /// correct solver, empty even then).
     #[serde(default = "no_violations")]
     pub violations: Vec<Violation>,
+    /// Injected / observed / recovered fault accounting — `None` unless the
+    /// run carried a fault plan.
+    #[serde(default = "Default::default")]
+    pub fault_report: Option<FaultReport>,
 }
 
 /// Execute one configuration end to end: build the scaled cluster, run the
@@ -75,13 +84,30 @@ pub fn run_once(cfg: &RunConfig) -> Measurement {
     if cfg.check {
         machine.set_check(CheckSink::enabled());
     }
-    let rapl = Arc::new(RaplSim::new(
-        machine.ledger(),
-        machine.power().clone(),
-        cfg.seed,
-    ));
+    // A non-empty fault plan arms the sink shared by the machine (message
+    // and crash faults) and the RAPL simulator (counter faults); an absent
+    // or empty plan leaves the zero-overhead disabled path in place.
+    let fault_sink = cfg
+        .faults
+        .as_ref()
+        .filter(|p| !p.is_empty())
+        .map(|p| FaultSink::with_plan(p.clone()));
+    if let Some(sink) = &fault_sink {
+        machine.set_faults(sink.clone());
+    }
+    let mut rapl = RaplSim::new(machine.ledger(), machine.power().clone(), cfg.seed);
+    if let Some(sink) = &fault_sink {
+        rapl = rapl.with_faults(sink.clone());
+    }
+    let rapl = Arc::new(rapl);
     let sys: LinearSystem = cfg.system.generate(cfg.n, system_seed(cfg));
-    let mon_cfg = MonitorConfig::default();
+    // Faulted runs monitor in degraded mode: a dead monitoring rank costs
+    // its node's report, not the job.
+    let mon_cfg = MonitorConfig {
+        degrade_on_fault: fault_sink.is_some(),
+        ..MonitorConfig::default()
+    };
+    let faulted = fault_sink.is_some();
     let solver = cfg.solver;
     let out = machine.run(|ctx| {
         let world = ctx.world();
@@ -92,6 +118,11 @@ pub fn run_once(cfg: &RunConfig) -> Measurement {
             ctx.touch_memory(local_share);
             handle.phase(ctx, "allocation").expect("phase mark");
             let x = match solver {
+                // A faulted IMe run goes through the checksum-protected
+                // solver so a planned column loss is recoverable in-band.
+                SolverChoice::Ime { .. } if faulted => {
+                    solve_imep_ft(ctx, &world, &sys, None).expect("IMe FT solve")
+                }
                 SolverChoice::Ime { .. } => {
                     solve_imep(ctx, &world, &sys, solver.imep_options().unwrap())
                         .expect("IMe solve")
@@ -107,8 +138,29 @@ pub fn run_once(cfg: &RunConfig) -> Measurement {
         (monitored.result, monitored.report)
     });
     let reports: Vec<NodeReport> = out.results.iter().filter_map(|(_, r)| r.clone()).collect();
-    assert_eq!(reports.len(), nodes, "one report per node");
-    let summary = JobSummary::aggregate(&reports);
+    let fault_report = fault_sink.as_ref().map(|s| s.report());
+    let degraded = fault_report.as_ref().map_or(0, |r| r.degraded_nodes.len());
+    assert_eq!(
+        reports.len() + degraded,
+        nodes,
+        "one report per non-degraded node"
+    );
+    let summary = if reports.is_empty() {
+        // Every node degraded to unmeasured: energy figures are zero, the
+        // run's virtual makespan stands in for the monitored duration.
+        JobSummary {
+            nodes: 0,
+            duration_s: out.makespan,
+            total_energy_j: 0.0,
+            pkg_energy_j: 0.0,
+            dram_energy_j: 0.0,
+            pkg_by_socket_j: [0.0; 2],
+            dram_by_socket_j: [0.0; 2],
+            mean_power_w: 0.0,
+        }
+    } else {
+        JobSummary::aggregate(&reports)
+    };
     let x = &out.results[0].0;
     Measurement {
         duration_s: summary.duration_s,
@@ -123,6 +175,7 @@ pub fn run_once(cfg: &RunConfig) -> Measurement {
         volume_elems: out.traffic.volume_elems(),
         nodes,
         violations: machine.check().violations(),
+        fault_report,
     }
 }
 
@@ -203,6 +256,10 @@ pub struct DataPoint {
     /// Checker diagnostics across all repetitions of this point.
     #[serde(default = "no_violations")]
     pub violations: Vec<Violation>,
+    /// Per-repetition fault accounting (empty unless the campaign ran
+    /// under a fault plan).
+    #[serde(default = "Default::default")]
+    pub fault_reports: Vec<FaultReport>,
 }
 
 /// The full functional-tier dataset all figures slice.
@@ -245,6 +302,7 @@ impl Dataset {
                         cores_per_socket: grid.cores_per_socket,
                         seed: grid.base_seed + rep as u64,
                         check: grid.check,
+                        faults: grid.faults.clone(),
                     })
                 })
                 .collect();
@@ -255,6 +313,7 @@ impl Dataset {
                 layout,
                 agg: Aggregated::from_runs(&runs),
                 violations: runs.iter().flat_map(|m| m.violations.clone()).collect(),
+                fault_reports: runs.iter().filter_map(|m| m.fault_report.clone()).collect(),
             }
         });
         Dataset { points }
@@ -279,6 +338,14 @@ impl Dataset {
         self.points
             .iter()
             .flat_map(|p| p.violations.iter().map(move |v| (p, v)))
+    }
+
+    /// Every per-repetition fault report in the dataset, paired with the
+    /// grid point that produced it.
+    pub fn fault_reports(&self) -> impl Iterator<Item = (&DataPoint, &FaultReport)> {
+        self.points
+            .iter()
+            .flat_map(|p| p.fault_reports.iter().map(move |r| (p, r)))
     }
 }
 

@@ -1,0 +1,239 @@
+//! The chaos battery: a seeded grid of fault plans against both solvers,
+//! proving the recovery story end to end. Every plan must terminate —
+//! recover (correct answer + fault accounting), degrade (nodes drop to
+//! unmeasured), or abort with a *stable* diagnostic. No hangs, no silent
+//! wrong answers.
+//!
+//! Each run executes on a watchdog thread with a generous wall-clock
+//! budget; a run that neither finishes nor panics within it fails the
+//! battery loudly. Set `CHAOS_REPORT_DIR` to collect the per-plan
+//! [`FaultReport`]s as a JSON artifact (CI uploads them).
+
+use greenla_cluster::placement::LoadLayout;
+use greenla_harness::run::{run_once, Measurement, RunConfig};
+use greenla_harness::SolverChoice;
+use greenla_linalg::generate::SystemKind;
+use greenla_mpi::{
+    CounterFault, CounterFaultKind, CrashFault, CrashWhen, FaultPlan, FaultReport, MsgFault,
+    MsgFaultKind, PlanShape,
+};
+use serde::Serialize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::time::Duration;
+
+const N: usize = 64;
+const RANKS: usize = 16;
+/// Wall-clock budget per chaos run. Vastly above the sub-second normal
+/// case: hitting it means a genuine hang, not a slow machine.
+const RUN_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Every legitimate way a faulted run is allowed to die. Anything else —
+/// and especially nothing at all — fails the battery.
+const STABLE_DIAGNOSTICS: &[&str] = &[
+    "injected fault:",
+    "simulated MPI run aborted",
+    "all peers gone while rank",
+];
+
+fn chaos_cfg(solver: SolverChoice, plan: FaultPlan) -> RunConfig {
+    RunConfig {
+        n: N,
+        ranks: RANKS,
+        layout: LoadLayout::FullLoad,
+        solver,
+        system: SystemKind::DiagDominant,
+        cores_per_socket: 4,
+        seed: 77,
+        check: true,
+        faults: Some(plan),
+    }
+}
+
+enum Outcome {
+    Completed(Box<Measurement>),
+    Aborted(String),
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "<non-string panic payload>".into())
+}
+
+/// Run one configuration to completion or panic on a watchdog thread; a
+/// run that does neither within [`RUN_TIMEOUT`] is a hang and fails here.
+fn run_with_watchdog(tag: &str, cfg: RunConfig) -> Outcome {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let result = catch_unwind(AssertUnwindSafe(|| run_once(&cfg)));
+        let _ = tx.send(result);
+    });
+    match rx.recv_timeout(RUN_TIMEOUT) {
+        Ok(Ok(m)) => Outcome::Completed(Box::new(m)),
+        Ok(Err(payload)) => Outcome::Aborted(panic_message(payload)),
+        Err(_) => panic!("chaos run {tag} hung past {RUN_TIMEOUT:?} — the no-hang guarantee broke"),
+    }
+}
+
+/// One battery entry for the JSON artifact.
+#[derive(Serialize)]
+struct ChaosRecord {
+    seed: u64,
+    solver: String,
+    outcome: &'static str,
+    diagnostic: Option<String>,
+    fault_report: Option<FaultReport>,
+}
+
+#[test]
+fn chaos_battery_every_plan_terminates_with_stable_outcome() {
+    let shape = PlanShape {
+        ranks: RANKS,
+        nodes: 2,
+        n: N,
+    };
+    let mut records = Vec::new();
+    let (mut completed, mut aborted) = (0usize, 0usize);
+    for seed in 0..50u64 {
+        for solver in [SolverChoice::ime_optimized(), SolverChoice::scalapack()] {
+            let plan = FaultPlan::seeded(seed, &shape);
+            assert!(!plan.is_empty(), "seeded plans always inject something");
+            let tag = format!("seed{seed}-{}", solver.label());
+            match run_with_watchdog(&tag, chaos_cfg(solver, plan)) {
+                Outcome::Completed(m) => {
+                    completed += 1;
+                    assert!(
+                        m.residual < 1e-6,
+                        "{tag}: silent wrong answer (residual {})",
+                        m.residual
+                    );
+                    let rep = m
+                        .fault_report
+                        .clone()
+                        .expect("a faulted run carries its fault report");
+                    records.push(ChaosRecord {
+                        seed,
+                        solver: solver.label().into(),
+                        outcome: "completed",
+                        diagnostic: None,
+                        fault_report: Some(rep),
+                    });
+                }
+                Outcome::Aborted(msg) => {
+                    aborted += 1;
+                    assert!(
+                        STABLE_DIAGNOSTICS.iter().any(|d| msg.contains(d)),
+                        "{tag}: unstable abort diagnostic: {msg:?}"
+                    );
+                    records.push(ChaosRecord {
+                        seed,
+                        solver: solver.label().into(),
+                        outcome: "aborted",
+                        diagnostic: Some(msg),
+                        fault_report: None,
+                    });
+                }
+            }
+        }
+    }
+    assert_eq!(completed + aborted, 100, "every plan terminated");
+    // The seeded mix guarantees both fates appear: ~40% of plans carry a
+    // fatal fault, the rest are recoverable.
+    assert!(completed > 0, "some plans must recover");
+    assert!(aborted > 0, "some plans must abort");
+    if let Some(dir) = std::env::var_os("CHAOS_REPORT_DIR") {
+        let dir = std::path::PathBuf::from(dir);
+        std::fs::create_dir_all(&dir).expect("create chaos report dir");
+        let text = serde_json::to_string_pretty(&records).expect("serialise chaos records");
+        std::fs::write(dir.join("chaos_reports.json"), text + "\n").expect("write chaos records");
+    }
+}
+
+#[test]
+fn drop_burst_past_retry_budget_aborts_end_to_end() {
+    let plan = FaultPlan {
+        messages: vec![MsgFault {
+            src: 0,
+            nth_send: 0,
+            kind: MsgFaultKind::Drop { count: 99 },
+        }],
+        ..FaultPlan::default()
+    };
+    match run_with_watchdog("drop-burst", chaos_cfg(SolverChoice::ime_optimized(), plan)) {
+        Outcome::Completed(_) => panic!("an unrecoverable drop burst must abort"),
+        Outcome::Aborted(msg) => assert!(
+            STABLE_DIAGNOSTICS.iter().any(|d| msg.contains(d)),
+            "unstable diagnostic: {msg:?}"
+        ),
+    }
+}
+
+#[test]
+fn planned_crash_aborts_end_to_end() {
+    for solver in [SolverChoice::ime_optimized(), SolverChoice::scalapack()] {
+        let plan = FaultPlan {
+            crashes: vec![CrashFault {
+                rank: 3,
+                when: CrashWhen::AtCall { calls: 5 },
+            }],
+            ..FaultPlan::default()
+        };
+        match run_with_watchdog("crash", chaos_cfg(solver, plan)) {
+            Outcome::Completed(_) => panic!("a planned crash must abort the run"),
+            Outcome::Aborted(msg) => assert!(
+                STABLE_DIAGNOSTICS.iter().any(|d| msg.contains(d)),
+                "unstable diagnostic: {msg:?}"
+            ),
+        }
+    }
+}
+
+#[test]
+fn wrap_storm_completes_and_is_accounted() {
+    // A wrap-storm inflates the counters without killing the reads: the
+    // run completes, stays numerically correct, and the report counts one
+    // counter fault.
+    let plan = FaultPlan {
+        counters: vec![CounterFault {
+            node: 0,
+            socket: 0,
+            from_s: 0.0,
+            kind: CounterFaultKind::WrapStorm { extra_w: 5.0e7 },
+        }],
+        ..FaultPlan::default()
+    };
+    match run_with_watchdog("wrap-storm", chaos_cfg(SolverChoice::ime_optimized(), plan)) {
+        Outcome::Completed(m) => {
+            assert!(m.residual < 1e-10, "residual {}", m.residual);
+            let rep = m.fault_report.clone().expect("fault report present");
+            assert_eq!(rep.injected.counter, 1, "{rep:?}");
+            assert_eq!(rep.observed.counter, 1);
+        }
+        Outcome::Aborted(msg) => panic!("wrap storm must not abort: {msg}"),
+    }
+}
+
+#[test]
+fn empty_plan_runs_bit_identical_to_no_plan() {
+    // `Some(FaultPlan::default())` must not even arm the sink: the run is
+    // bit-identical in virtual time to a plain run and carries no report.
+    let base = chaos_cfg(SolverChoice::ime_optimized(), FaultPlan::default());
+    let plain = RunConfig {
+        faults: None,
+        ..base.clone()
+    };
+    let a = run_once(&base);
+    let b = run_once(&plain);
+    assert!(
+        a.fault_report.is_none(),
+        "empty plan leaves faults disabled"
+    );
+    assert_eq!(a.duration_s.to_bits(), b.duration_s.to_bits());
+    assert_eq!(a.total_energy_j.to_bits(), b.total_energy_j.to_bits());
+    assert_eq!(a.residual.to_bits(), b.residual.to_bits());
+    assert_eq!(a.msgs, b.msgs);
+    assert_eq!(a.volume_elems, b.volume_elems);
+}

@@ -45,6 +45,7 @@ fn checking_does_not_perturb_measurements() {
         cores_per_socket: 4,
         seed: 5,
         check,
+        faults: None,
     };
     let checked = run_once(&cfg(true));
     let plain = run_once(&cfg(false));

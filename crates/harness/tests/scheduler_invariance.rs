@@ -23,6 +23,7 @@ fn cfg(solver: SolverChoice, check: bool) -> RunConfig {
         cores_per_socket: 4,
         seed: 11,
         check,
+        faults: None,
     }
 }
 
@@ -90,5 +91,109 @@ fn trace_event_stream_is_identical_across_runs() {
         text(&first),
         text(&second),
         "observers must see an unchanged event stream"
+    );
+}
+
+/// A recoverable plan exercising every fault family that completes: message
+/// drop (within the retry budget), duplicate, delay, a counter glitch and a
+/// monitoring-rank death (degrading one node), plus an IMe column loss.
+fn recoverable_plan() -> greenla_mpi::FaultPlan {
+    use greenla_mpi::{
+        ColumnLoss, CounterFault, CounterFaultKind, FaultPlan, MsgFault, MsgFaultKind,
+    };
+    FaultPlan {
+        seed: 7,
+        messages: vec![
+            MsgFault {
+                src: 1,
+                nth_send: 2,
+                kind: MsgFaultKind::Drop { count: 2 },
+            },
+            MsgFault {
+                src: 3,
+                nth_send: 0,
+                kind: MsgFaultKind::Duplicate,
+            },
+            MsgFault {
+                src: 5,
+                nth_send: 4,
+                kind: MsgFaultKind::Delay { extra_s: 2.5e-4 },
+            },
+        ],
+        crashes: vec![],
+        // On the degraded node: its session never starts, so the glitch
+        // stays unobserved — the disabled-read path must stay deterministic.
+        counters: vec![CounterFault {
+            node: 1,
+            socket: 0,
+            from_s: 1e-5,
+            kind: CounterFaultKind::Glitch,
+        }],
+        monitor_deaths: vec![1],
+        column_loss: Some(ColumnLoss {
+            level: 9,
+            column: 30,
+        }),
+    }
+}
+
+#[test]
+fn faulted_runs_are_bit_identical_across_schedulers() {
+    // Identical seed + plan ⇒ bit-identical virtual timings and identical
+    // FaultReports whether the ranks poll (checked) or park (unchecked).
+    let faulted = |check: bool| RunConfig {
+        faults: Some(recoverable_plan()),
+        ..cfg(SolverChoice::ime_optimized(), check)
+    };
+    let polled = run_once(&faulted(true));
+    let parked = run_once(&faulted(false));
+    assert_bit_identical(&polled, &parked, "faulted checked vs unchecked");
+    let (pr, kr) = (
+        polled.fault_report.clone().expect("faulted run reports"),
+        parked.fault_report.clone().expect("faulted run reports"),
+    );
+    assert_eq!(pr, kr, "fault accounting must not depend on the scheduler");
+    assert!(pr.injected.total() > 0, "the plan actually fired: {pr:?}");
+    assert_eq!(pr.injected.msg_drop, 2);
+    assert_eq!(pr.recovered.msg_drop, 2, "drops within budget recover");
+    assert_eq!(pr.injected.monitor, 1);
+    assert_eq!(pr.degraded_nodes, vec![1], "node 1 runs unmeasured");
+    assert_eq!(pr.injected.column_loss, 1);
+    assert_eq!(pr.recovered.column_loss, 1);
+    // And the repeat is bit-identical too.
+    let again = run_once(&faulted(false));
+    assert_bit_identical(&parked, &again, "faulted repeat");
+    assert_eq!(again.fault_report.unwrap(), kr);
+}
+
+#[test]
+fn faulted_trace_streams_are_identical_and_carry_fault_instants() {
+    use greenla_harness::chrome_trace::traced_faulted_solve;
+    let run = || {
+        traced_faulted_solve(
+            SolverChoice::ime_optimized(),
+            96,
+            16,
+            11,
+            &recoverable_plan(),
+        )
+    };
+    let (first, rep_a) = run();
+    let (second, rep_b) = run();
+    assert_eq!(rep_a, rep_b, "identical FaultReports run over run");
+    assert_eq!(
+        first.makespan_s.to_bits(),
+        second.makespan_s.to_bits(),
+        "faulted virtual makespan is deterministic"
+    );
+    let text = serde_json::to_string(&first.trace).expect("serialise trace");
+    assert_eq!(
+        text,
+        serde_json::to_string(&second.trace).expect("serialise trace"),
+        "faulted event streams must be identical"
+    );
+    assert!(
+        text.contains("fault:"),
+        "the trace records the injection instants"
     );
 }

@@ -91,6 +91,7 @@ fn run_once_respects_layout_node_count() {
         cores_per_socket: 4,
         seed: 1,
         check: false,
+        faults: None,
     });
     assert_eq!(m.nodes, 4, "16 ranks at 4/node half-load = 4 nodes");
     assert!(m.residual < 1e-12);

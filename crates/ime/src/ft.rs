@@ -38,6 +38,24 @@ const RECOVER_TAG: u64 = 77;
 
 /// IMeP with checksum protection and optional fault injection. Returns the
 /// replicated solution.
+///
+/// When `failure` is `None` and the rank context carries an enabled
+/// [fault plan](greenla_mpi::FaultPlan) with a column loss, the loss is
+/// taken from the plan instead (clamped into range, so one plan is
+/// portable across problem sizes) — the solver then recovers from a
+/// *runtime* fault it did not stage itself, and the victim rank accounts
+/// the injection and the recovery in its `FaultReport`.
+///
+/// # Checksum invariant
+///
+/// At every level boundary the master's checksum column satisfies
+/// `S = Σ_{c=0}^{2n-1} t_{·,c}` exactly (in exact arithmetic; to rounding
+/// in floating point). It holds because `apply_level` is a row
+/// operation — linear across columns — so applying it to `S` equals
+/// applying it to every column and summing, with one correction for the
+/// level column `n+l` that is snapped to `e_l` rather than updated. Any
+/// single lost column is therefore `S − Σ_{c≠lost} t_{·,c}` at the instant
+/// of loss, which is what the recovery below computes.
 pub fn solve_imep_ft(
     ctx: &mut RankCtx,
     comm: &Comm,
@@ -47,6 +65,22 @@ pub fn solve_imep_ft(
     let n = sys.n();
     let nranks = comm.size();
     let me = comm.rank();
+    // A runtime-planned loss (from the machine's fault plan) fills in for a
+    // caller-staged one. Every rank reads the same plan, so the control flow
+    // below stays collective.
+    let mut planned = false;
+    let failure = failure.or_else(|| {
+        if n == 0 || !ctx.faults_enabled() {
+            return None;
+        }
+        ctx.faults_mut().app_column_loss().map(|(l, c)| {
+            planned = true;
+            FailureSpec {
+                level: l % n,
+                column: c % (2 * n),
+            }
+        })
+    });
     if let Some(f) = failure {
         assert!(f.level < n && f.column < 2 * n, "failure spec out of range");
     }
@@ -91,6 +125,10 @@ pub fn solve_imep_ft(
                         .find(|(c, _)| *c == f.column)
                         .expect("victim owns the failed column");
                     slot.1 = vec![f64::NAN; n];
+                    if planned {
+                        ctx.faults_mut().record_column_loss_injected();
+                        ctx.trace_instant("fault:column_loss");
+                    }
                 }
                 // Survivor sum excludes the lost column.
                 let surv = sum_columns(&my_cols, n, Some(f.column));
@@ -101,12 +139,20 @@ pub fn solve_imep_ft(
                     ctx.compute(flops::daxpy(n), 0);
                     if victim == MASTER {
                         restore(&mut my_cols, f.column, rec);
+                        if planned {
+                            ctx.faults_mut().record_column_loss_recovered();
+                            ctx.trace_instant("fault:column_loss_recovered");
+                        }
                     } else {
                         ctx.send_f64(comm, victim, RECOVER_TAG, &rec);
                     }
                 } else if me == victim {
                     let rec = ctx.recv_f64(comm, MASTER, RECOVER_TAG);
                     restore(&mut my_cols, f.column, rec);
+                    if planned {
+                        ctx.faults_mut().record_column_loss_recovered();
+                        ctx.trace_instant("fault:column_loss_recovered");
+                    }
                 }
             }
         }

@@ -312,3 +312,133 @@ fn imep_charges_more_flops_than_scalapack_model() {
         "IMeP charged {flops} flops, GE model is {ge_model}"
     );
 }
+
+#[test]
+fn ft_property_random_column_loss_at_every_level() {
+    // Property sweep for the checksum invariant: for every size up to 40 and
+    // every level, losing one randomly chosen column is recoverable and the
+    // recovered solution matches the fault-free sequential one. (Size 0 is
+    // covered by `ft_degenerate_sizes` below; level loops are empty there.)
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0xC0_1055);
+    for n in 1..40usize {
+        let sys = generate::diag_dominant(n, 100 + n as u64);
+        let (x_ref, _) = solve_seq(&sys).unwrap();
+        for level in 0..n {
+            let column: usize = rng.gen_range(0..2 * n);
+            let m = machine(4.min(n.max(1)), 12);
+            let out = m.run(|ctx| {
+                let world = ctx.world();
+                solve_imep_ft(ctx, &world, &sys, Some(FailureSpec { level, column })).unwrap()
+            });
+            for x in &out.results {
+                for (a, b) in x.iter().zip(&x_ref) {
+                    assert!(
+                        (a - b).abs() < 1e-8,
+                        "n={n} level={level} col={column}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn ft_degenerate_sizes() {
+    // n = 0 and n = 1 terminate and return sane results with no failure and
+    // (for n = 1) with a loss at the only level.
+    let empty = generate::LinearSystem {
+        a: greenla_linalg::Matrix::zeros(0, 0),
+        b: vec![],
+        x_ref: None,
+    };
+    let m = machine(2, 13);
+    let out = m.run(|ctx| {
+        let world = ctx.world();
+        solve_imep_ft(ctx, &world, &empty, None).unwrap()
+    });
+    assert!(out.results.iter().all(|x| x.is_empty()));
+
+    let one = generate::diag_dominant(1, 14);
+    for failure in [
+        None,
+        Some(FailureSpec {
+            level: 0,
+            column: 1,
+        }),
+    ] {
+        let m = machine(2, 13);
+        let out = m.run(|ctx| {
+            let world = ctx.world();
+            solve_imep_ft(ctx, &world, &one, failure).unwrap()
+        });
+        let r = one.residual(&out.results[0]);
+        assert!(r < 1e-12, "n=1 failure={failure:?}: residual {r}");
+    }
+}
+
+#[test]
+fn ft_recovers_runtime_planned_column_loss() {
+    // The loss comes from the machine's fault plan, not from the caller:
+    // `solve_imep_ft(.., None)` must consult the plan, recover, and account
+    // the injection + recovery in the fault report.
+    use greenla_mpi::{ColumnLoss, FaultPlan, FaultSink};
+    let n = 16;
+    let sys = generate::diag_dominant(n, 17);
+    let (x_ref, _) = solve_seq(&sys).unwrap();
+    // Out-of-range level/column prove the clamp makes plans portable.
+    for (level, column) in [(5, 9), (n + 3, 7 * n)] {
+        let plan = FaultPlan {
+            column_loss: Some(ColumnLoss { level, column }),
+            ..FaultPlan::default()
+        };
+        let sink = FaultSink::with_plan(plan);
+        let m = machine(4, 16).with_faults(sink.clone());
+        let out = m.run(|ctx| {
+            let world = ctx.world();
+            solve_imep_ft(ctx, &world, &sys, None).unwrap()
+        });
+        for x in &out.results {
+            for (a, b) in x.iter().zip(&x_ref) {
+                assert!((a - b).abs() < 1e-9, "level={level} col={column}");
+            }
+        }
+        let rep = sink.report();
+        assert_eq!(rep.injected.column_loss, 1, "one loss injected");
+        assert_eq!(rep.observed.column_loss, 1);
+        assert_eq!(rep.recovered.column_loss, 1, "and recovered in-band");
+    }
+}
+
+#[test]
+fn ft_caller_failure_takes_precedence_over_plan() {
+    // An explicitly staged failure wins; the plan's loss is not injected on
+    // top of it, so the report stays empty.
+    use greenla_mpi::{ColumnLoss, FaultPlan, FaultSink};
+    let n = 10;
+    let sys = generate::diag_dominant(n, 18);
+    let plan = FaultPlan {
+        column_loss: Some(ColumnLoss {
+            level: 2,
+            column: 3,
+        }),
+        ..FaultPlan::default()
+    };
+    let sink = FaultSink::with_plan(plan);
+    let m = machine(3, 19).with_faults(sink.clone());
+    let out = m.run(|ctx| {
+        let world = ctx.world();
+        solve_imep_ft(
+            ctx,
+            &world,
+            &sys,
+            Some(FailureSpec {
+                level: 4,
+                column: 6,
+            }),
+        )
+        .unwrap()
+    });
+    assert!(sys.residual(&out.results[0]) < 1e-10);
+    assert_eq!(sink.report().injected.column_loss, 0);
+}

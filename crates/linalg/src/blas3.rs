@@ -4,9 +4,10 @@
 //! GotoBLAS/BLIS shape: the operands are repacked once per cache block into
 //! contiguous microkernel-ordered buffers (`A` as `MR`-row micro-panels
 //! scaled by `α`, `B` as `NR`-column micro-panels), and all arithmetic
-//! happens in an unrolled [`tune::MR`]`×`[`tune::NR`] microkernel whose
-//! accumulator tile LLVM keeps in vector registers. Block sizes come from
-//! [`tune::Blocking`]; the microkernel shape is fixed at compile time.
+//! happens in an unrolled [`crate::tune::MR`]`×`[`crate::tune::NR`]
+//! microkernel whose accumulator tile LLVM keeps in vector registers. Block
+//! sizes come from [`crate::tune::Blocking`]; the microkernel shape is
+//! fixed at compile time.
 //!
 //! `dtrsm` is blocked the same way: small diagonal blocks are solved with a
 //! short substitution loop and the (dominant) trailing updates are routed

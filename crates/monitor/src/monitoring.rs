@@ -24,6 +24,12 @@ pub struct MonitorConfig {
     pub events: Option<Vec<String>>,
     /// Directory for per-processor result files; `None` skips file output.
     pub output_dir: Option<std::path::PathBuf>,
+    /// Graceful degradation: when the node's monitoring fails — the
+    /// monitoring rank dies during bring-up, or PAPI/powercap reads fail
+    /// mid-protocol — downgrade the node to "unmeasured" (no
+    /// [`NodeReport`], run continues) instead of failing the whole job.
+    /// Off by default: a fault-free campaign wants loud failures.
+    pub degrade_on_fault: bool,
 }
 
 /// A live measurement on a monitoring rank.

@@ -33,11 +33,22 @@ use std::sync::Arc;
 /// sign-extended to u64.
 const STATUS_OK: u64 = 0;
 
+/// Status word for a node that downgraded itself to "unmeasured" after a
+/// monitoring fault (only sent when [`MonitorConfig::degrade_on_fault`] is
+/// set). Distinct from every sign-extended negative PAPI code and from
+/// [`STATUS_OK`].
+const STATUS_DEGRADED: u64 = 0xDE67_ADED;
+
 /// Live monitoring state carried through the measured region.
 pub struct MonitorHandle {
     node_comm: Comm,
     session: Option<Session>,
     monitor_rank_world: usize,
+    /// The node runs unmeasured: monitoring failed and
+    /// [`MonitorConfig::degrade_on_fault`] turned that into a downgrade
+    /// instead of an abort.
+    degraded: bool,
+    degrade_on_fault: bool,
 }
 
 /// Result of a monitored run on one rank.
@@ -67,24 +78,54 @@ impl MonitorHandle {
         let mut status = vec![STATUS_OK];
         let mut session = None;
         if is_monitor {
-            match start_monitoring(rapl, ctx.node(), cfg, ctx.now()) {
-                Ok(s) => {
-                    ctx.trace_instant("start_monitoring");
-                    ctx.check_monitor_start();
-                    session = Some(s);
+            // A planned monitoring-rank death fires here, mid-protocol:
+            // with degradation enabled the node downgrades itself to
+            // "unmeasured"; without it the rank really dies and the machine
+            // aborts the run with a stable diagnostic.
+            let death = ctx.faults_enabled() && ctx.faults_mut().monitor_death_due();
+            if death {
+                ctx.trace_instant("fault:monitor_death");
+                if !cfg.degrade_on_fault {
+                    panic!(
+                        "injected fault: monitoring rank {} of node {} died during \
+                         protocol bring-up",
+                        ctx.rank(),
+                        ctx.node()
+                    );
                 }
-                Err(MonitorError::Papi(code)) => status = vec![code as i64 as u64],
-                Err(MonitorError::Io(_)) => unreachable!("start does no file i/o"),
+                ctx.faults_mut().note_degraded();
+                ctx.trace_instant("fault:monitor_degraded");
+                status = vec![STATUS_DEGRADED];
+            } else {
+                match start_monitoring(rapl, ctx.node(), cfg, ctx.now()) {
+                    Ok(s) => {
+                        ctx.trace_instant("start_monitoring");
+                        ctx.check_monitor_start();
+                        session = Some(s);
+                    }
+                    Err(MonitorError::Papi(code)) => {
+                        if cfg.degrade_on_fault {
+                            ctx.faults_mut().note_degraded();
+                            ctx.trace_instant("fault:monitor_degraded");
+                            status = vec![STATUS_DEGRADED];
+                        } else {
+                            status = vec![code as i64 as u64];
+                        }
+                    }
+                    Err(MonitorError::Io(_)) => unreachable!("start does no file i/o"),
+                }
             }
         }
         // The monitoring rank shares its bring-up status with its node.
         let root = node_comm.size() - 1;
         ctx.bcast_u64(&node_comm, root, &mut status);
-        if status[0] != STATUS_OK {
+        let degraded = status[0] == STATUS_DEGRADED;
+        if status[0] != STATUS_OK && !degraded {
             ctx.trace_end("monitor", "monitor_begin");
             return Err(MonitorError::Papi(status[0] as i64 as i32));
         }
-        // General execution synchronisation.
+        // General execution synchronisation. A degraded node still joins:
+        // the rest of the job must not notice the downgrade.
         ctx.barrier(&world);
         ctx.trace_end("monitor", "monitor_begin");
         ctx.trace_begin("monitor", "measured_region");
@@ -92,6 +133,8 @@ impl MonitorHandle {
             node_comm,
             session,
             monitor_rank_world,
+            degraded,
+            degrade_on_fault: cfg.degrade_on_fault,
         })
     }
 
@@ -103,8 +146,20 @@ impl MonitorHandle {
         if ctx.trace_enabled() {
             ctx.trace_instant(&format!("phase:{label}"));
         }
-        if let Some(s) = self.session.as_mut() {
-            s.mark_phase(label, ctx.now())?;
+        if let Some(mut s) = self.session.take() {
+            match s.mark_phase(label, ctx.now()) {
+                Ok(()) => self.session = Some(s),
+                Err(e) => {
+                    // Mid-run measurement loss (e.g. a glitched powercap
+                    // read): degrade the node rather than fail the job.
+                    if !self.degrade_on_fault {
+                        return Err(e);
+                    }
+                    ctx.faults_mut().note_degraded();
+                    ctx.trace_instant("fault:monitor_degraded");
+                    self.degraded = true;
+                }
+            }
         }
         Ok(())
     }
@@ -123,12 +178,26 @@ impl MonitorHandle {
         let mut report = None;
         if let Some(session) = self.session {
             ctx.check_monitor_end();
-            let r = end_monitoring(session, ctx.node(), self.monitor_rank_world, ctx.now())?;
-            ctx.trace_instant("end_monitoring");
-            if let Some(dir) = &cfg.output_dir {
-                files::write_node_report(dir, &r).map_err(|e| MonitorError::Io(e.to_string()))?;
+            match end_monitoring(session, ctx.node(), self.monitor_rank_world, ctx.now()) {
+                Ok(r) => {
+                    ctx.trace_instant("end_monitoring");
+                    if let Some(dir) = &cfg.output_dir {
+                        files::write_node_report(dir, &r)
+                            .map_err(|e| MonitorError::Io(e.to_string()))?;
+                    }
+                    report = Some(r);
+                }
+                Err(e) => {
+                    // The counters died between the last read and the stop:
+                    // with degradation enabled the node forfeits its report
+                    // instead of failing the job.
+                    if !self.degrade_on_fault {
+                        return Err(e);
+                    }
+                    ctx.faults_mut().note_degraded();
+                    ctx.trace_instant("fault:monitor_degraded");
+                }
             }
-            report = Some(r);
         }
         // Final job-wide alignment (then MPI_Finalize in the C framework).
         let world = ctx.world();
@@ -145,6 +214,11 @@ impl MonitorHandle {
     /// Is this rank its node's monitoring rank?
     pub fn is_monitor(&self) -> bool {
         self.session.is_some()
+    }
+
+    /// Is this rank's node running unmeasured after a monitoring fault?
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
     }
 }
 

@@ -132,6 +132,7 @@ fn blackbox_writes_trace_files() {
     let cfg = MonitorConfig {
         events: None,
         output_dir: Some(dir.clone()),
+        degrade_on_fault: false,
     };
     m.run(|ctx| {
         blackbox_run(ctx, &rapl, &cfg, 1e-3, |ctx, _| ctx.compute(2_000_000, 0)).unwrap();

@@ -176,6 +176,7 @@ fn per_processor_files_written_and_parse_back() {
     let cfg = MonitorConfig {
         events: None,
         output_dir: Some(dir.clone()),
+        degrade_on_fault: false,
     };
     let out = m.run(|ctx| {
         monitored_run(ctx, &rapl, &cfg, |ctx, _| ctx.compute(10_000_000, 0))
@@ -247,6 +248,7 @@ fn papi_failure_reported_on_every_rank_of_the_node() {
         // A bogus event name: add_named_event fails on the monitoring rank.
         events: Some(vec!["powercap:::ENERGY_UJ:ZONE99".into()]),
         output_dir: None,
+        degrade_on_fault: false,
     };
     let out = m.run(|ctx| monitored_run(ctx, &rapl, &cfg, |ctx, _| ctx.compute(1000, 0)).err());
     for e in out.results {
@@ -256,4 +258,106 @@ fn papi_failure_reported_on_every_rank_of_the_node() {
             "PAPI_ENOEVNT must reach every rank"
         );
     }
+}
+
+#[test]
+fn monitor_death_degrades_node_instead_of_aborting() {
+    use greenla_mpi::{FaultPlan, FaultSink};
+    let plan = FaultPlan {
+        monitor_deaths: vec![0],
+        ..Default::default()
+    };
+    let sink = FaultSink::with_plan(plan);
+    let m = machine(2, 16).with_faults(sink.clone());
+    let rapl =
+        Arc::new(RaplSim::new(m.ledger(), m.power().clone(), m.seed()).with_faults(sink.clone()));
+    let cfg = MonitorConfig {
+        degrade_on_fault: true,
+        ..Default::default()
+    };
+    let out = m.run(|ctx| {
+        let r = monitored_run(ctx, &rapl, &cfg, |ctx, _| {
+            ctx.compute(1_000_000, 0);
+        })
+        .expect("degraded node must not fail the protocol");
+        r.report
+    });
+    let reports: Vec<_> = out.results.into_iter().flatten().collect();
+    assert_eq!(reports.len(), 1, "only the healthy node reports");
+    assert_eq!(reports[0].node, 1);
+    let rep = sink.report();
+    assert_eq!(rep.degraded_nodes, vec![0]);
+    assert_eq!(rep.injected.monitor, 1);
+    assert_eq!(rep.recovered.monitor, 1);
+}
+
+#[test]
+fn monitor_death_without_degradation_aborts_with_stable_diagnostic() {
+    use greenla_mpi::{FaultPlan, FaultSink};
+    let plan = FaultPlan {
+        monitor_deaths: vec![0],
+        ..Default::default()
+    };
+    let m = machine(2, 16).with_faults(FaultSink::with_plan(plan));
+    let rapl = rapl_for(&m);
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        m.run(|ctx| {
+            monitored_run(ctx, &rapl, &MonitorConfig::default(), |ctx, _| {
+                ctx.compute(1_000_000, 0);
+            })
+            .map(|_| ())
+            .ok();
+        })
+    }));
+    let payload = match r {
+        Err(p) => p,
+        Ok(_) => panic!("strict mode must abort on monitoring-rank death"),
+    };
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_default();
+    assert!(
+        msg.starts_with("injected fault: monitoring rank")
+            || msg.contains("simulated MPI run aborted")
+            || msg.contains("all peers gone"),
+        "unstable diagnostic: {msg}"
+    );
+}
+
+#[test]
+fn glitched_counter_degrades_node_mid_run() {
+    use greenla_mpi::{CounterFault, CounterFaultKind, FaultPlan, FaultSink};
+    // Counter dies after monitoring starts: the phase read or the stop
+    // fails, and the node forfeits its report instead of failing the job.
+    let plan = FaultPlan {
+        counters: vec![CounterFault {
+            node: 0,
+            socket: 0,
+            from_s: 1.0e-6,
+            kind: CounterFaultKind::Glitch,
+        }],
+        ..Default::default()
+    };
+    let sink = FaultSink::with_plan(plan);
+    let m = machine(2, 16).with_faults(sink.clone());
+    let rapl =
+        Arc::new(RaplSim::new(m.ledger(), m.power().clone(), m.seed()).with_faults(sink.clone()));
+    let cfg = MonitorConfig {
+        degrade_on_fault: true,
+        ..Default::default()
+    };
+    let out = m.run(|ctx| {
+        let r = monitored_run(ctx, &rapl, &cfg, |ctx, handle| {
+            ctx.compute(50_000_000, 0);
+            handle.phase(ctx, "solve").unwrap();
+            ctx.compute(1_000_000, 0);
+        })
+        .expect("degraded node must not fail the protocol");
+        r.report
+    });
+    let reports: Vec<_> = out.results.into_iter().flatten().collect();
+    assert_eq!(reports.len(), 1, "only the healthy node reports");
+    assert_eq!(reports[0].node, 1);
+    assert_eq!(sink.report().degraded_nodes, vec![0]);
 }

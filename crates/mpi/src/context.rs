@@ -11,6 +11,7 @@ use greenla_cluster::placement::Placement;
 use greenla_cluster::spec::ClusterSpec;
 use greenla_cluster::topology::CoreId;
 use greenla_cluster::PowerModel;
+use greenla_faults::{retry_backoff_s, MsgFaultKind, RankFaults, MAX_SEND_RETRIES};
 use greenla_trace::RankTracer;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -57,6 +58,12 @@ pub struct RankCtx<'m> {
     /// has an enabled [`greenla_check::CheckSink`] attached. Hooks only
     /// observe the virtual clocks, never advance them.
     pub(crate) checker: RankChecker,
+    /// Planned-fault state for this rank; a no-op unless the machine has
+    /// an enabled [`greenla_faults::FaultSink`] attached. Unlike the
+    /// observers above, active faults *do* perturb virtual time (that is
+    /// their point) — but a disabled handle costs one branch per hook and
+    /// leaves the timeline untouched.
+    pub(crate) faults: RankFaults,
 }
 
 impl<'m> RankCtx<'m> {
@@ -144,6 +151,41 @@ impl<'m> RankCtx<'m> {
         self.tracer.instant(name, t);
     }
 
+    // ----- fault injection -------------------------------------------------------
+
+    /// Is fault injection active for this run?
+    pub fn faults_enabled(&self) -> bool {
+        self.faults.enabled()
+    }
+
+    /// This rank's fault handle (plan queries and recovery accounting for
+    /// higher layers — the monitor protocol and checksum-protected
+    /// solvers).
+    pub fn faults_mut(&mut self) -> &mut RankFaults {
+        &mut self.faults
+    }
+
+    /// Shorthand for the mid-protocol checks higher layers make.
+    pub fn faults(&self) -> &RankFaults {
+        &self.faults
+    }
+
+    /// An injection point: every compute and send entry passes through
+    /// here, advancing the per-rank call counter and firing a planned
+    /// crash when due. The rank dies by panic; the machine poisons the
+    /// run so every peer unblocks with a stable diagnostic instead of
+    /// hanging.
+    fn fault_point(&mut self) {
+        if !self.faults.enabled() {
+            return;
+        }
+        if let Some(msg) = self.faults.crash_due(self.clock) {
+            let t = self.clock;
+            self.tracer.instant("fault:crash", t);
+            panic!("{msg}");
+        }
+    }
+
     // ----- virtual-time charging -------------------------------------------------
 
     /// Record a busy interval of `dt` seconds starting at the current clock
@@ -190,6 +232,7 @@ impl<'m> RankCtx<'m> {
     /// the node's jittered sustained rate) and the memory time (at this
     /// core's share of socket DRAM bandwidth).
     pub fn compute(&mut self, flops: u64, dram_bytes: u64) {
+        self.fault_point();
         let rate = self.spec.node.cpu.sustained_flops_per_core * self.perf_mult;
         let t_flops = flops as f64 / rate;
         let per_core_bw =
@@ -242,6 +285,12 @@ impl<'m> RankCtx<'m> {
         tag: u64,
         payload: Payload,
     ) {
+        self.fault_point();
+        let fault = if self.faults.enabled() {
+            self.faults.next_send_fault()
+        } else {
+            None
+        };
         let dst = comm.global_rank(dst_index);
         assert!(dst != self.rank, "self-send on comm {}", comm.id());
         let bytes = payload.size_bytes();
@@ -257,8 +306,60 @@ impl<'m> RankCtx<'m> {
             );
         }
         self.busy(o, ActivityKind::Comm, 0);
-        let arrival = self.clock + self.spec.net.message_time(bytes, same_node);
+        if let Some(MsgFaultKind::Drop { count }) = fault {
+            // Sender-side retry with exponential virtual backoff: each
+            // dropped attempt costs busy time, so faults leave a visible,
+            // deterministic footprint in the timeline.
+            self.faults.record_drop_injected(count as u64);
+            let t = self.clock;
+            self.tracer.instant("fault:drop", t);
+            for attempt in 0..count.min(MAX_SEND_RETRIES + 1) {
+                self.busy(retry_backoff_s(o, attempt), ActivityKind::Comm, 0);
+            }
+            if count > MAX_SEND_RETRIES {
+                if self.tracer.enabled() {
+                    let t = self.clock;
+                    self.tracer.end("comm", "send", t);
+                }
+                panic!(
+                    "injected fault: rank {} lost message to rank {dst} after \
+                     {MAX_SEND_RETRIES} retries (comm {}, tag {tag})",
+                    self.rank,
+                    comm.id()
+                );
+            }
+            self.faults.record_drop_recovered(count as u64);
+        }
+        let mut arrival = self.clock + self.spec.net.message_time(bytes, same_node);
+        let mut delayed = false;
+        if let Some(MsgFaultKind::Delay { extra_s }) = fault {
+            arrival += extra_s;
+            delayed = true;
+            self.faults.record_delay_injected();
+            let t = self.clock;
+            self.tracer.instant("fault:delay", t);
+        }
+        let duplicate = matches!(fault, Some(MsgFaultKind::Duplicate));
         self.traffic.record(bytes, same_node);
+        if duplicate {
+            // The phantom copy crosses the wire too; the receiver discards
+            // it on sight.
+            self.faults.record_dup_injected();
+            let t = self.clock;
+            self.tracer.instant("fault:dup", t);
+            self.traffic.record(bytes, same_node);
+            self.txs[dst]
+                .send(Envelope {
+                    src: self.rank,
+                    comm_id: comm.id(),
+                    tag,
+                    arrival,
+                    payload: payload.clone(),
+                    dup: true,
+                    delayed: false,
+                })
+                .expect("destination mailbox closed");
+        }
         self.txs[dst]
             .send(Envelope {
                 src: self.rank,
@@ -266,6 +367,8 @@ impl<'m> RankCtx<'m> {
                 tag,
                 arrival,
                 payload,
+                dup: false,
+                delayed,
             })
             .expect("destination mailbox closed");
         if self.tracer.enabled() {
@@ -315,6 +418,14 @@ impl<'m> RankCtx<'m> {
         if env.is_control() {
             panic!("{}", self.checker.abort_message());
         }
+        if env.dup {
+            // Injected duplicate: discard on sight — it never reaches the
+            // pending queue, so matching logic and the checker never see it.
+            self.faults.record_dup_discarded();
+            let t = self.clock;
+            self.tracer.instant("fault:dup_discarded", t);
+            return;
+        }
         self.pending.push(env);
     }
 
@@ -338,6 +449,9 @@ impl<'m> RankCtx<'m> {
                 .position(|e| e.src == src && e.comm_id == cid && e.tag == tag)
             {
                 let env = self.pending.remove(pos);
+                if env.delayed {
+                    self.faults.record_delay_observed();
+                }
                 let o = self.spec.net.per_message_overhead_s;
                 let done = (self.clock + o).max(env.arrival + o);
                 self.busy_until(done, ActivityKind::Comm);
@@ -366,6 +480,12 @@ impl<'m> RankCtx<'m> {
         while let Ok(env) = self.rx.try_recv() {
             if env.is_control() {
                 panic!("{}", self.checker.abort_message());
+            }
+            if env.dup {
+                self.faults.record_dup_discarded();
+                let t = self.clock;
+                self.tracer.instant("fault:dup_discarded", t);
+                continue;
             }
             self.pending.push(env);
         }
@@ -399,6 +519,9 @@ impl<'m> RankCtx<'m> {
                 .position(|e| e.src == src_g && e.comm_id == cid && e.tag == tag)
             {
                 let env = self.pending.remove(pos);
+                if env.delayed {
+                    self.faults.record_delay_observed();
+                }
                 // Advance without recording a busy interval, then charge
                 // only the wake-up/copy overhead.
                 let o = self.spec.net.per_message_overhead_s;

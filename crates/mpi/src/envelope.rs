@@ -57,6 +57,12 @@ pub struct Envelope {
     /// Virtual time at which the message is fully available at the receiver.
     pub arrival: f64,
     pub payload: Payload,
+    /// Injected-fault marker: this envelope is a spurious duplicate of one
+    /// already delivered; the receiver must discard it.
+    pub dup: bool,
+    /// Injected-fault marker: this envelope's arrival was pushed into the
+    /// future by a planned delay (receivers record the observation).
+    pub delayed: bool,
 }
 
 impl Envelope {
@@ -70,6 +76,8 @@ impl Envelope {
             tag: 0,
             arrival: f64::INFINITY,
             payload: Payload::Bytes(Vec::new()),
+            dup: false,
+            delayed: false,
         }
     }
 

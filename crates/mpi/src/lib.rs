@@ -49,6 +49,10 @@ pub use comm::Comm;
 pub use context::RankCtx;
 pub use error::MachineError;
 pub use greenla_check::{CheckSink, CollEvent, CollKind, Rule, Violation};
+pub use greenla_faults::{
+    ColumnLoss, CounterFault, CounterFaultKind, CrashFault, CrashWhen, FaultPlan, FaultReport,
+    FaultSink, MsgFault, MsgFaultKind, PlanShape, RankFaults,
+};
 pub use greenla_trace::{EventKind, TraceEvent, TraceSink};
 pub use machine::{Machine, RunOutput};
 pub use traffic::{Traffic, TrafficSnapshot};

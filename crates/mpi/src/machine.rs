@@ -11,6 +11,7 @@ use greenla_cluster::ledger::Ledger;
 use greenla_cluster::placement::Placement;
 use greenla_cluster::spec::ClusterSpec;
 use greenla_cluster::PowerModel;
+use greenla_faults::FaultSink;
 use greenla_trace::TraceSink;
 use parking_lot::Mutex;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -26,6 +27,7 @@ pub struct Machine {
     traffic: Arc<Traffic>,
     trace: TraceSink,
     check: CheckSink,
+    faults: FaultSink,
 }
 
 /// What a completed run produced.
@@ -68,6 +70,7 @@ impl Machine {
             traffic: Arc::new(Traffic::new()),
             trace: TraceSink::disabled(),
             check: CheckSink::disabled(),
+            faults: FaultSink::disabled(),
         })
     }
 
@@ -105,6 +108,25 @@ impl Machine {
     /// The attached checking sink (disabled by default).
     pub fn check(&self) -> &CheckSink {
         &self.check
+    }
+
+    /// Attach a fault-injection sink. Unlike tracing and checking, an
+    /// *active* plan perturbs virtual time on purpose; a disabled sink
+    /// (the default) costs one branch per injection point and leaves the
+    /// timeline bit-identical to a build without the fault layer.
+    pub fn set_faults(&mut self, sink: FaultSink) {
+        self.faults = sink;
+    }
+
+    /// Builder-style [`Machine::set_faults`].
+    pub fn with_faults(mut self, sink: FaultSink) -> Self {
+        self.faults = sink;
+        self
+    }
+
+    /// The attached fault sink (disabled by default).
+    pub fn faults(&self) -> &FaultSink {
+        &self.faults
     }
 
     /// The activity ledger (shared; energy layers read it during and after
@@ -202,6 +224,7 @@ impl Machine {
                 let perf_mult = self.power.perf_multiplier(self.seed, core.node);
                 let tracer = self.trace.tracer(rank, core.node);
                 let checker = self.check.checker(rank, core.node);
+                let faults = self.faults.handle(rank, core.node);
                 scope.spawn(move || {
                     let mut ctx = RankCtx {
                         rank,
@@ -223,6 +246,7 @@ impl Machine {
                         world_members,
                         tracer,
                         checker,
+                        faults,
                     };
                     match catch_unwind(AssertUnwindSafe(|| f(&mut ctx))) {
                         Ok(r) => {
@@ -247,24 +271,33 @@ impl Machine {
         if let Some(payload) = first_panic.into_inner() {
             resume_unwind(payload);
         }
-        if self.check.is_enabled() {
+        if self.check.is_enabled() || self.faults.is_enabled() {
             // Message hygiene: anything still sitting in a mailbox at
-            // finalize was sent but never received (MSG001).
+            // finalize was sent but never received (MSG001). Injected
+            // duplicates a receiver finished before pumping are accounted
+            // here instead — whether a duplicate is discarded mid-run or at
+            // finalize is a wall-clock accident, but the total observed
+            // count is deterministic.
             for (rank, slot) in mailboxes.iter().enumerate() {
                 if let Some((rx, pending)) = slot.lock().take() {
                     // Abort control messages are runtime plumbing, not rank
                     // traffic — never report them as leaks.
-                    let mut leaked: Vec<(usize, u64, u64, f64)> = pending
-                        .iter()
-                        .filter(|e| !e.is_control())
-                        .map(|e| (e.src, e.comm_id, e.tag, e.arrival))
-                        .collect();
-                    while let Ok(e) = rx.try_recv() {
-                        if !e.is_control() {
+                    let mut leaked: Vec<(usize, u64, u64, f64)> = Vec::new();
+                    let mut audit = |e: &Envelope| {
+                        if e.is_control() {
+                            return;
+                        }
+                        if e.dup {
+                            self.faults.note_dup_discarded();
+                        } else {
                             leaked.push((e.src, e.comm_id, e.tag, e.arrival));
                         }
+                    };
+                    pending.iter().for_each(&mut audit);
+                    while let Ok(e) = rx.try_recv() {
+                        audit(&e);
                     }
-                    if !leaked.is_empty() {
+                    if !leaked.is_empty() && self.check.is_enabled() {
                         self.check.report_residue(rank, &leaked);
                     }
                 }
@@ -699,6 +732,230 @@ mod tests {
             })
         }));
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn dropped_send_recovers_with_backoff_and_is_reported() {
+        use greenla_faults::{FaultPlan, FaultSink, MsgFault, MsgFaultKind};
+        let plan = FaultPlan {
+            messages: vec![MsgFault {
+                src: 0,
+                nth_send: 0,
+                kind: MsgFaultKind::Drop { count: 2 },
+            }],
+            ..Default::default()
+        };
+        let sink = FaultSink::with_plan(plan);
+        let m = machine(8).with_faults(sink.clone());
+        let out = m.run(|ctx| {
+            let world = ctx.world();
+            match ctx.rank() {
+                0 => {
+                    ctx.send_f64(&world, 1, 7, &[1.0]);
+                    ctx.now()
+                }
+                1 => {
+                    assert_eq!(ctx.recv_f64(&world, 0, 7), vec![1.0]);
+                    ctx.now()
+                }
+                _ => 0.0,
+            }
+        });
+        // The two dropped attempts cost the sender backoff busy time.
+        let clean = machine(8).run(|ctx| {
+            let world = ctx.world();
+            match ctx.rank() {
+                0 => {
+                    ctx.send_f64(&world, 1, 7, &[1.0]);
+                    ctx.now()
+                }
+                1 => {
+                    ctx.recv_f64(&world, 0, 7);
+                    ctx.now()
+                }
+                _ => 0.0,
+            }
+        });
+        assert!(
+            out.results[0] > clean.results[0],
+            "retries must be visible in virtual time"
+        );
+        let rep = sink.report();
+        assert_eq!(rep.injected.msg_drop, 2);
+        assert_eq!(rep.recovered.msg_drop, 2);
+    }
+
+    #[test]
+    fn drop_burst_past_retry_budget_aborts_with_diagnostic() {
+        use greenla_faults::{FaultPlan, FaultSink, MsgFault, MsgFaultKind, MAX_SEND_RETRIES};
+        let plan = FaultPlan {
+            messages: vec![MsgFault {
+                src: 0,
+                nth_send: 0,
+                kind: MsgFaultKind::Drop {
+                    count: MAX_SEND_RETRIES + 1,
+                },
+            }],
+            ..Default::default()
+        };
+        let m = machine(8).with_faults(FaultSink::with_plan(plan));
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            m.run(|ctx| {
+                let world = ctx.world();
+                if ctx.rank() == 0 {
+                    ctx.send_f64(&world, 1, 7, &[1.0]);
+                } else if ctx.rank() == 1 {
+                    ctx.recv_f64(&world, 0, 7);
+                }
+            })
+        }));
+        let payload = match r {
+            Err(p) => p,
+            Ok(_) => panic!("lost message must abort the run"),
+        };
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.starts_with("injected fault:")
+                || msg.contains("simulated MPI run aborted")
+                || msg.contains("all peers gone"),
+            "unstable diagnostic: {msg}"
+        );
+    }
+
+    #[test]
+    fn duplicate_envelope_is_discarded_and_counted() {
+        use greenla_faults::{FaultPlan, FaultSink, MsgFault, MsgFaultKind};
+        let plan = FaultPlan {
+            messages: vec![MsgFault {
+                src: 0,
+                nth_send: 0,
+                kind: MsgFaultKind::Duplicate,
+            }],
+            ..Default::default()
+        };
+        let sink = FaultSink::with_plan(plan);
+        let m = machine(8).with_faults(sink.clone());
+        let out = m.run(|ctx| {
+            let world = ctx.world();
+            match ctx.rank() {
+                0 => {
+                    ctx.send_f64(&world, 1, 7, &[2.0]);
+                    Vec::new()
+                }
+                1 => ctx.recv_f64(&world, 0, 7),
+                _ => Vec::new(),
+            }
+        });
+        assert_eq!(out.results[1], vec![2.0], "payload delivered exactly once");
+        let rep = sink.report();
+        assert_eq!(rep.injected.msg_dup, 1);
+        assert_eq!(
+            rep.observed.msg_dup, 1,
+            "duplicate accounted whether pumped or audited at finalize"
+        );
+    }
+
+    #[test]
+    fn delayed_envelope_shifts_arrival_and_is_observed() {
+        use greenla_faults::{FaultPlan, FaultSink, MsgFault, MsgFaultKind};
+        let extra = 0.5;
+        let plan = FaultPlan {
+            messages: vec![MsgFault {
+                src: 0,
+                nth_send: 0,
+                kind: MsgFaultKind::Delay { extra_s: extra },
+            }],
+            ..Default::default()
+        };
+        let sink = FaultSink::with_plan(plan);
+        let m = machine(8).with_faults(sink.clone());
+        let out = m.run(|ctx| {
+            let world = ctx.world();
+            match ctx.rank() {
+                0 => {
+                    ctx.send_f64(&world, 1, 7, &[3.0]);
+                    0.0
+                }
+                1 => {
+                    ctx.recv_f64(&world, 0, 7);
+                    ctx.now()
+                }
+                _ => 0.0,
+            }
+        });
+        assert!(
+            out.results[1] >= extra,
+            "receiver must wait out the injected delay, got {}",
+            out.results[1]
+        );
+        let rep = sink.report();
+        assert_eq!(rep.injected.msg_delay, 1);
+        assert_eq!(rep.observed.msg_delay, 1);
+    }
+
+    #[test]
+    fn planned_crash_aborts_both_schedulers() {
+        use greenla_faults::{CrashFault, CrashWhen, FaultPlan, FaultSink};
+        for checked in [false, true] {
+            let plan = FaultPlan {
+                crashes: vec![CrashFault {
+                    rank: 3,
+                    when: CrashWhen::AtCall { calls: 2 },
+                }],
+                ..Default::default()
+            };
+            let sink = FaultSink::with_plan(plan);
+            let mut m = machine(8).with_faults(sink.clone());
+            if checked {
+                m = m.with_check(greenla_check::CheckSink::enabled());
+            }
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                m.run(|ctx| {
+                    let world = ctx.world();
+                    ctx.compute(1_000, 0);
+                    ctx.compute(1_000, 0);
+                    ctx.barrier(&world);
+                })
+            }));
+            let payload = match r {
+                Err(p) => p,
+                Ok(_) => panic!("planned crash must abort (checked={checked})"),
+            };
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_default();
+            assert!(
+                msg.starts_with("injected fault: rank 3 crashed")
+                    || msg.contains("simulated MPI run aborted"),
+                "checked={checked}: unstable diagnostic: {msg}"
+            );
+            let rep = sink.report();
+            assert_eq!(rep.injected.rank_crash, 1, "checked={checked}");
+        }
+    }
+
+    #[test]
+    fn disabled_faults_leave_virtual_time_untouched() {
+        use greenla_faults::FaultSink;
+        let base = machine(8).run(|ctx| {
+            let world = ctx.world();
+            ctx.compute(1_000_000, 64);
+            ctx.barrier(&world);
+            ctx.now()
+        });
+        let with_sink = machine(8).with_faults(FaultSink::disabled()).run(|ctx| {
+            let world = ctx.world();
+            ctx.compute(1_000_000, 64);
+            ctx.barrier(&world);
+            ctx.now()
+        });
+        for (a, b) in base.results.iter().zip(&with_sink.results) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

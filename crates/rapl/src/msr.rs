@@ -31,6 +31,9 @@ pub enum MsrError {
     NoSuchSocket(usize),
     /// Node index out of range for the job.
     NoSuchNode(usize),
+    /// An injected measurement fault: the counter read failed outright
+    /// (models a dead powercap sysfs node / flaky MSR access mid-run).
+    Faulted,
 }
 
 impl std::fmt::Display for MsrError {
@@ -41,6 +44,7 @@ impl std::fmt::Display for MsrError {
             MsrError::UnsupportedRegister(a) => write!(f, "unsupported MSR {a:#x}"),
             MsrError::NoSuchSocket(s) => write!(f, "no such socket {s}"),
             MsrError::NoSuchNode(n) => write!(f, "no such node {n}"),
+            MsrError::Faulted => write!(f, "injected measurement fault"),
         }
     }
 }

@@ -11,6 +11,7 @@ use crate::msr::{
 use crate::units::{RaplUnits, SKX_RAPL_POWER_UNIT};
 use greenla_cluster::ledger::Ledger;
 use greenla_cluster::PowerModel;
+use greenla_faults::{CounterFaultKind, FaultSink};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -33,6 +34,10 @@ pub struct RaplSim {
     /// machine construction via [`PowerModel::with_power_cap`], because a
     /// run's timing cannot be re-derived retroactively.
     power_limits: Mutex<HashMap<(usize, usize), u64>>,
+    /// Planned measurement faults (wrap storms, stuck counters, failing
+    /// reads). Disabled by default; the ground-truth path never consults
+    /// it, so external-meter comparisons stay exact even in faulted runs.
+    faults: FaultSink,
 }
 
 fn mix(z: u64) -> u64 {
@@ -54,6 +59,7 @@ impl RaplSim {
             access: MsrAccess::permitted(),
             cpu,
             power_limits: Mutex::new(HashMap::new()),
+            faults: FaultSink::disabled(),
         }
     }
 
@@ -72,7 +78,20 @@ impl RaplSim {
             access,
             cpu,
             power_limits: Mutex::new(HashMap::new()),
+            faults: FaultSink::disabled(),
         }
+    }
+
+    /// Attach a fault-injection sink (shared with the machine running the
+    /// job, so one `FaultReport` covers runtime and measurement faults).
+    pub fn set_faults(&mut self, sink: FaultSink) {
+        self.faults = sink;
+    }
+
+    /// Builder-style [`RaplSim::set_faults`].
+    pub fn with_faults(mut self, sink: FaultSink) -> Self {
+        self.faults = sink;
+        self
     }
 
     pub fn cpu(&self) -> CpuModel {
@@ -147,6 +166,33 @@ impl RaplSim {
         }
     }
 
+    /// Counter energy as the *register* reports it at the (already
+    /// quantised) read time `tq`: ground truth, unless a planned
+    /// measurement fault covers this `(node, socket)` — a stuck counter
+    /// freezes at its onset value, a wrap storm piles phantom joules on
+    /// top (wrapping the 32-bit register many times between reads), and a
+    /// glitch fails the read outright.
+    fn register_energy_j(
+        &self,
+        node: usize,
+        socket: usize,
+        domain: Domain,
+        tq: f64,
+    ) -> Result<f64, MsrError> {
+        match self.faults.counter_fault(node, socket, tq) {
+            None => self.ground_truth_j(node, socket, domain, tq),
+            Some((CounterFaultKind::Glitch, _)) => Err(MsrError::Faulted),
+            Some((CounterFaultKind::Stuck, from_s)) => {
+                let tf = quantize_read_time(from_s, self.phase(node, socket, domain));
+                self.ground_truth_j(node, socket, domain, tf)
+            }
+            Some((CounterFaultKind::WrapStorm { extra_w }, from_s)) => {
+                let truth = self.ground_truth_j(node, socket, domain, tq)?;
+                Ok(truth + extra_w * (tq - from_s).max(0.0))
+            }
+        }
+    }
+
     /// Read an MSR of `(node, socket)` at virtual time `t` — the full
     /// hardware path: access check, quantisation, unit conversion, 32-bit
     /// wrap.
@@ -170,7 +216,7 @@ impl RaplSim {
                     return Err(MsrError::UnsupportedRegister(addr));
                 }
                 let tq = quantize_read_time(t, self.phase(node, socket, domain));
-                let joules = self.ground_truth_j(node, socket, domain, tq)?;
+                let joules = self.register_energy_j(node, socket, domain, tq)?;
                 let units = self.units();
                 let unit_j = if domain == Domain::Dram {
                     units.dram_energy_j
@@ -222,7 +268,7 @@ impl RaplSim {
             return Err(MsrError::UnsupportedRegister(MSR_PP1_ENERGY_STATUS));
         }
         let tq = quantize_read_time(t, self.phase(node, socket, domain));
-        let joules = self.ground_truth_j(node, socket, domain, tq)?;
+        let joules = self.register_energy_j(node, socket, domain, tq)?;
         Ok((joules * 1e6) as u64)
     }
 
@@ -371,6 +417,95 @@ mod tests {
         let idle = sim.ground_truth_j(0, 1, Domain::Package, 10.0).unwrap();
         let ratio = idle / loaded;
         assert!((0.35..0.65).contains(&ratio), "idle/loaded = {ratio}");
+    }
+
+    #[test]
+    fn stuck_counter_freezes_at_onset() {
+        use greenla_faults::{CounterFault, FaultPlan};
+        let plan = FaultPlan {
+            counters: vec![CounterFault {
+                node: 0,
+                socket: 0,
+                from_s: 2.0,
+                kind: greenla_faults::CounterFaultKind::Stuck,
+            }],
+            ..Default::default()
+        };
+        let sink = FaultSink::with_plan(plan);
+        let sim = sim_with_activity().with_faults(sink.clone());
+        let before = sim.read_msr(0, 0, MSR_PKG_ENERGY_STATUS, 1.0).unwrap();
+        let at_onset = sim.read_msr(0, 0, MSR_PKG_ENERGY_STATUS, 2.0).unwrap();
+        let later = sim.read_msr(0, 0, MSR_PKG_ENERGY_STATUS, 8.0).unwrap();
+        assert!(before < at_onset, "counter lives until the onset");
+        assert_eq!(at_onset, later, "stuck counter must not advance");
+        // The untouched socket keeps counting.
+        let other = sim.read_msr(0, 1, MSR_PKG_ENERGY_STATUS, 8.0).unwrap();
+        assert!(other > 0);
+        let rep = sink.report();
+        assert_eq!(rep.injected.counter, 1);
+    }
+
+    #[test]
+    fn glitched_counter_fails_reads_after_onset() {
+        use greenla_faults::{CounterFault, FaultPlan};
+        let plan = FaultPlan {
+            counters: vec![CounterFault {
+                node: 0,
+                socket: 0,
+                from_s: 2.0,
+                kind: greenla_faults::CounterFaultKind::Glitch,
+            }],
+            ..Default::default()
+        };
+        let sim = sim_with_activity().with_faults(FaultSink::with_plan(plan));
+        assert!(sim.read_msr(0, 0, MSR_PKG_ENERGY_STATUS, 1.0).is_ok());
+        assert_eq!(
+            sim.read_msr(0, 0, MSR_PKG_ENERGY_STATUS, 3.0),
+            Err(MsrError::Faulted)
+        );
+        assert_eq!(
+            sim.energy_uj(0, 0, Domain::Package, 3.0),
+            Err(MsrError::Faulted)
+        );
+    }
+
+    #[test]
+    fn wrap_storm_is_recovered_by_hinted_delta() {
+        use crate::counter::{delta_joules, delta_joules_with_hint, wrap_range_j};
+        use greenla_faults::{CounterFault, FaultPlan};
+        // ~1e8 W of phantom power wraps the 32-bit register several times
+        // between two reads 8 s apart.
+        let extra_w = 1.0e8;
+        let plan = FaultPlan {
+            counters: vec![CounterFault {
+                node: 0,
+                socket: 0,
+                from_s: 0.0,
+                kind: greenla_faults::CounterFaultKind::WrapStorm { extra_w },
+            }],
+            ..Default::default()
+        };
+        let sim = sim_with_activity().with_faults(FaultSink::with_plan(plan));
+        let unit = sim.units().energy_j;
+        let t1 = 1.0;
+        let t2 = 9.0;
+        let c1 = sim.read_msr(0, 0, MSR_PKG_ENERGY_STATUS, t1).unwrap();
+        let c2 = sim.read_msr(0, 0, MSR_PKG_ENERGY_STATUS, t2).unwrap();
+        let expected = extra_w * (t2 - t1); // dominates the real ~150 W
+        assert!(
+            expected > 2.0 * wrap_range_j(unit),
+            "storm must span multiple wraps for this test to bite"
+        );
+        let naive = delta_joules(c1, c2, unit);
+        let hinted = delta_joules_with_hint(c1, c2, unit, expected);
+        assert!(
+            (hinted - expected).abs() / expected < 0.01,
+            "hinted {hinted} vs expected {expected}"
+        );
+        assert!(
+            (naive - expected).abs() / expected > 0.5,
+            "naive reconstruction must be badly wrong under a storm: {naive}"
+        );
     }
 
     #[test]
