@@ -26,6 +26,14 @@ pub enum CollKind {
     BcastPipelined,
     Reduce,
     Gather,
+    /// Recursive-doubling allreduce (the kind doubles as the lockstep
+    /// algorithm discriminator: a rank taking the small-payload
+    /// tree path instead records Reduce + Bcast sites, so divergent
+    /// algorithm selection surfaces as COLL001).
+    Allreduce,
+    /// Ring allgather (same discriminator role as Allreduce: the tree
+    /// fallback records Gather + Bcast sites instead).
+    Allgather,
 }
 
 impl fmt::Display for CollKind {
@@ -37,6 +45,8 @@ impl fmt::Display for CollKind {
             CollKind::BcastPipelined => "bcast_pipelined",
             CollKind::Reduce => "reduce",
             CollKind::Gather => "gather",
+            CollKind::Allreduce => "allreduce",
+            CollKind::Allgather => "allgather",
         })
     }
 }

@@ -255,6 +255,81 @@ pub fn campaign_suite(quick: bool) -> BenchSuite {
     }
 }
 
+/// The pinned collectives suite: wall-clock of the simulated collectives
+/// themselves — broadcast fan-out, the size-switched allreduce and the
+/// ring allgather — at 1 KiB / 256 KiB / 8 MiB across 16 and 64 ranks.
+/// The allgather sizes are the *combined* payload (what the solvers see);
+/// an `allgather_tree_8mib_p64` reference entry keeps the ring-vs-tree
+/// ratio visible in every artifact, exactly like the packed-vs-scalar
+/// kernel pair. Virtual seconds ride along as the determinism canary.
+pub fn coll_suite(quick: bool) -> BenchSuite {
+    use greenla_cluster::placement::Placement;
+    use greenla_cluster::spec::ClusterSpec;
+    use greenla_cluster::PowerModel;
+    use greenla_mpi::Machine;
+
+    let reps = if quick { 5 } else { 9 };
+    let machine = |ranks: usize| {
+        let spec = ClusterSpec::test_cluster(ranks.div_ceil(8), 4);
+        let placement = Placement::layout(&spec.node, ranks, LoadLayout::FullLoad).unwrap();
+        Machine::new(spec, placement, PowerModel::deterministic(), 13).unwrap()
+    };
+    // Element counts for 1 KiB / 256 KiB / 8 MiB of f64s.
+    let sizes = [
+        (128usize, "1kib"),
+        (32 * 1024, "256kib"),
+        (1024 * 1024, "8mib"),
+    ];
+    let mut entries = Vec::new();
+    // The per-run activity ledger demands monotonic clocks, so every
+    // repetition builds a fresh machine — the same shape `run_once` gives
+    // the campaign suite, and the constant cost cancels in the gate's diff.
+    let mut push = |id: String, p: usize, body: &(dyn Fn(&mut greenla_mpi::RankCtx) + Sync)| {
+        let mut virtual_s = 0.0;
+        let wall = median_wall(reps, || {
+            virtual_s = machine(p).run(body).makespan;
+        });
+        entries.push(BenchEntry {
+            id,
+            reps,
+            median_wall_s: wall,
+            gflops: None,
+            virtual_s: Some(virtual_s),
+        });
+    };
+    for p in [16usize, 64] {
+        for (elems, tag) in sizes {
+            push(format!("bcast_{tag}_p{p}"), p, &move |ctx| {
+                let world = ctx.world();
+                let data = (ctx.rank() == 0).then(|| vec![1.0; elems]);
+                ctx.bcast_shared_f64(&world, 0, data);
+            });
+            push(format!("allreduce_{tag}_p{p}"), p, &move |ctx| {
+                let world = ctx.world();
+                ctx.allreduce_sum_owned_f64(&world, vec![1.0; elems]);
+            });
+            let per = elems / p;
+            push(format!("allgather_{tag}_p{p}"), p, &move |ctx| {
+                let world = ctx.world();
+                ctx.allgather_f64(&world, &vec![ctx.rank() as f64; per]);
+            });
+        }
+        if p == 64 {
+            // Reference: the pre-switch gather-then-broadcast composition at
+            // the heaviest point, so the ring's win is gated, not assumed.
+            let per = 1024 * 1024 / p;
+            push(format!("allgather_tree_8mib_p{p}"), p, &move |ctx| {
+                let world = ctx.world();
+                ctx.allgather_f64_tree(&world, &vec![ctx.rank() as f64; per]);
+            });
+        }
+    }
+    BenchSuite {
+        suite: "collectives".into(),
+        entries,
+    }
+}
+
 /// Outcome of one baseline-vs-current comparison.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Verdict {

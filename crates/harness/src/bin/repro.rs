@@ -40,6 +40,7 @@ struct Args {
     faults: Option<PathBuf>,
     bench_out: Option<PathBuf>,
     bench_campaign: Option<PathBuf>,
+    bench_coll: Option<PathBuf>,
     bench_baseline: Option<PathBuf>,
     bench_quick: bool,
 }
@@ -56,6 +57,7 @@ fn parse_args() -> Args {
         faults: None,
         bench_out: None,
         bench_campaign: None,
+        bench_coll: None,
         bench_baseline: None,
         bench_quick: false,
     };
@@ -88,6 +90,11 @@ fn parse_args() -> Args {
                     it.next().expect("--bench-campaign needs a value"),
                 ))
             }
+            "--bench-coll" => {
+                args.bench_coll = Some(PathBuf::from(
+                    it.next().expect("--bench-coll needs a value"),
+                ))
+            }
             "--bench-baseline" => {
                 args.bench_baseline = Some(PathBuf::from(
                     it.next().expect("--bench-baseline needs a value"),
@@ -95,7 +102,7 @@ fn parse_args() -> Args {
             }
             "--bench-quick" => args.bench_quick = true,
             "--help" | "-h" => {
-                println!("usage: repro [--exp all|table1|fig3..fig7|summary|overhead|powercap|trace] [--tier functional|model|both] [--reps N] [--smoke] [--out DIR] [--trace-out PATH] [--check] [--faults PLAN.json] [--bench-out PATH] [--bench-campaign PATH] [--bench-baseline PATH] [--bench-quick]");
+                println!("usage: repro [--exp all|table1|fig3..fig7|summary|overhead|powercap|trace] [--tier functional|model|both] [--reps N] [--smoke] [--out DIR] [--trace-out PATH] [--check] [--faults PLAN.json] [--bench-out PATH] [--bench-campaign PATH] [--bench-coll PATH] [--bench-baseline PATH] [--bench-quick]");
                 std::process::exit(0);
             }
             other => {
@@ -124,8 +131,12 @@ fn main() {
     // Bench mode runs only the pinned suites and exits: CI's bench job (and
     // local baseline regeneration) wants the timing artefacts without the
     // figure campaign behind them.
-    if args.bench_out.is_some() || args.bench_campaign.is_some() || args.bench_baseline.is_some() {
-        use greenla_harness::bench::{campaign_suite, kernel_suite, BenchReport};
+    if args.bench_out.is_some()
+        || args.bench_campaign.is_some()
+        || args.bench_coll.is_some()
+        || args.bench_baseline.is_some()
+    {
+        use greenla_harness::bench::{campaign_suite, coll_suite, kernel_suite, BenchReport};
         let write = |path: &PathBuf, report: &BenchReport| {
             if let Some(dir) = path.parent() {
                 if !dir.as_os_str().is_empty() {
@@ -150,12 +161,25 @@ fn main() {
             let report = BenchReport::new(vec![campaign_suite(args.bench_quick)]);
             write(path, &report);
         }
-        // Both suites in one file — the shape `bench_gate --baseline` expects.
+        if let Some(path) = &args.bench_coll {
+            eprintln!("running collectives bench suite{quick}");
+            let report = BenchReport::new(vec![coll_suite(args.bench_quick)]);
+            if let Some(sp) = report.speedup(
+                "collectives",
+                "allgather_8mib_p64",
+                "allgather_tree_8mib_p64",
+            ) {
+                eprintln!("8 MiB allgather at P=64, ring vs tree: {sp:.2}x");
+            }
+            write(path, &report);
+        }
+        // All suites in one file — the shape `bench_gate --baseline` expects.
         if let Some(path) = &args.bench_baseline {
-            eprintln!("running kernel + campaign suites for a fresh baseline{quick}");
+            eprintln!("running kernel + campaign + collectives suites for a fresh baseline{quick}");
             let report = BenchReport::new(vec![
                 kernel_suite(args.bench_quick),
                 campaign_suite(args.bench_quick),
+                coll_suite(args.bench_quick),
             ]);
             write(path, &report);
         }

@@ -34,6 +34,7 @@ const STABLE_DIAGNOSTICS: &[&str] = &[
     "injected fault:",
     "simulated MPI run aborted",
     "all peers gone while rank",
+    "collective contract violated",
 ];
 
 fn chaos_cfg(solver: SolverChoice, plan: FaultPlan) -> RunConfig {
@@ -214,6 +215,39 @@ fn wrap_storm_completes_and_is_accounted() {
         }
         Outcome::Aborted(msg) => panic!("wrap storm must not abort: {msg}"),
     }
+}
+
+#[test]
+fn malformed_collective_aborts_within_the_stable_set() {
+    // A rank feeding a wrong-length buffer into a reduction is a program
+    // bug, not an injected fault — but the abort contract is the same:
+    // terminate with a diagnostic from the stable set.
+    use greenla_cluster::placement::Placement;
+    use greenla_cluster::spec::ClusterSpec;
+    use greenla_cluster::PowerModel;
+    use greenla_mpi::Machine;
+    let spec = ClusterSpec::test_cluster(2, 4);
+    let placement = Placement::layout(&spec.node, 8, LoadLayout::FullLoad).unwrap();
+    let m = Machine::new(spec, placement, PowerModel::deterministic(), 77).unwrap();
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        m.run(|ctx| {
+            let world = ctx.world();
+            let len = if ctx.rank() == 3 { 5 } else { 4 };
+            ctx.allreduce_sum_f64(&world, &vec![1.0; len]);
+        })
+    }));
+    let msg = match r {
+        Err(payload) => panic_message(payload),
+        Ok(_) => panic!("mismatched reduce lengths must abort"),
+    };
+    assert!(
+        STABLE_DIAGNOSTICS.iter().any(|d| msg.contains(d)),
+        "unstable diagnostic: {msg:?}"
+    );
+    assert!(
+        msg.contains("reduce length mismatch"),
+        "diagnostic must name the contract breach: {msg:?}"
+    );
 }
 
 #[test]

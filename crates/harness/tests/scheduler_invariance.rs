@@ -167,6 +167,99 @@ fn faulted_runs_are_bit_identical_across_schedulers() {
 }
 
 #[test]
+fn collectives_straddling_the_size_switch_are_scheduler_invariant() {
+    // The allreduce/allgather families switch algorithms at 512 B
+    // (64 f64 elements). Drive both sides of the switch — one element
+    // below, at, and above — under an active fault plan, checked
+    // (polling) and unchecked (parked): virtual clocks, traffic and every
+    // rank's numerical results must be bit-identical, and the lockstep
+    // checker must see matching collective signatures on both paths.
+    use greenla_cluster::placement::Placement;
+    use greenla_cluster::spec::ClusterSpec;
+    use greenla_cluster::PowerModel;
+    use greenla_mpi::{CheckSink, FaultPlan, FaultSink, Machine, MsgFault, MsgFaultKind};
+
+    let plan = || FaultPlan {
+        seed: 3,
+        messages: vec![
+            MsgFault {
+                src: 2,
+                nth_send: 1,
+                kind: MsgFaultKind::Drop { count: 1 },
+            },
+            MsgFault {
+                src: 7,
+                nth_send: 0,
+                kind: MsgFaultKind::Duplicate,
+            },
+            MsgFault {
+                src: 4,
+                nth_send: 2,
+                kind: MsgFaultKind::Delay { extra_s: 1.0e-4 },
+            },
+        ],
+        ..FaultPlan::default()
+    };
+    let run = |check: bool| {
+        let spec = ClusterSpec::test_cluster(2, 4);
+        let placement = Placement::layout(&spec.node, 16, LoadLayout::FullLoad).unwrap();
+        let mut m = Machine::new(spec, placement, PowerModel::deterministic(), 23)
+            .unwrap()
+            .with_faults(FaultSink::with_plan(plan()));
+        if check {
+            m = m.with_check(CheckSink::enabled());
+        }
+        let out = m.run(|ctx| {
+            let world = ctx.world();
+            let mut acc: Vec<Vec<f64>> = Vec::new();
+            // 63/64 elems take the tree pair, 65 recursive doubling.
+            for elems in [63usize, 64, 65] {
+                let mine = vec![ctx.rank() as f64 + elems as f64; elems];
+                acc.push(ctx.allreduce_sum_f64(&world, &mine));
+            }
+            // 16 × 4 = 64 elems total rides the tree composition,
+            // 16 × 5 = 80 the ring.
+            for per in [4usize, 5] {
+                let mine = vec![ctx.rank() as f64; per];
+                let all = ctx.allgather_sized_f64(&world, &mine, 16 * per);
+                acc.push(all.into_iter().flatten().collect());
+            }
+            acc
+        });
+        let violations = m.check().violations();
+        assert!(violations.is_empty(), "checked={check}: {violations:#?}");
+        out
+    };
+    let polled = run(true);
+    let parked = run(false);
+    assert_eq!(
+        polled.makespan.to_bits(),
+        parked.makespan.to_bits(),
+        "virtual makespan must not depend on the scheduler"
+    );
+    for (r, (a, b)) in polled
+        .final_clocks
+        .iter()
+        .zip(&parked.final_clocks)
+        .enumerate()
+    {
+        assert_eq!(a.to_bits(), b.to_bits(), "rank {r} final clock");
+    }
+    assert_eq!(polled.traffic, parked.traffic, "traffic tallies");
+    // Results are equal across schedulers AND across ranks: recursive
+    // doubling applies the commutative combiner over one shared pairing
+    // tree, so every rank must produce the same bits.
+    assert_eq!(polled.results, parked.results, "numerical results");
+    for (r, res) in parked.results.iter().enumerate() {
+        assert_eq!(res, &parked.results[0], "rank {r} result divergence");
+    }
+    // And the faulted run repeats bit-identically.
+    let again = run(false);
+    assert_eq!(parked.makespan.to_bits(), again.makespan.to_bits());
+    assert_eq!(parked.results, again.results);
+}
+
+#[test]
 fn faulted_trace_streams_are_identical_and_carry_fault_instants() {
     use greenla_harness::chrome_trace::traced_faulted_solve;
     let run = || {

@@ -82,8 +82,13 @@ fn claim_checker_runs_on_smoke_data() {
 
 #[test]
 fn run_once_respects_layout_node_count() {
+    // n is chosen so the monitored window spans several RAPL counter
+    // update periods (~1 ms each): below that, each socket's counter
+    // snaps the window to a different quantised instant and the
+    // phase-dependent sliver of *static* power can dwarf the active DRAM
+    // split the ordering assertion below is about.
     let m = run_once(&RunConfig {
-        n: 64,
+        n: 448,
         ranks: 16,
         layout: LoadLayout::HalfOneSocket,
         solver: greenla_harness::SolverChoice::scalapack(),
@@ -94,7 +99,7 @@ fn run_once_respects_layout_node_count() {
         faults: None,
     });
     assert_eq!(m.nodes, 4, "16 ranks at 4/node half-load = 4 nodes");
-    assert!(m.residual < 1e-12);
+    assert!(m.residual < 1e-11);
     // One-socket layout: socket 1 has no DRAM traffic beyond static.
     assert!(m.dram_by_socket_j[0] >= m.dram_by_socket_j[1]);
 }

@@ -110,7 +110,7 @@ pub fn solve_imep_ft(
     let local_sum = sum_columns(&my_cols, n, None);
     ctx.compute(flops::daxpy(n) * my_cols.len() as u64 / 2, 0);
     let mut checksum = ctx
-        .reduce_sum_f64(comm, MASTER, &local_sum)
+        .reduce_sum_owned_f64(comm, MASTER, local_sum)
         .unwrap_or_default();
 
     for l in (0..n).rev() {
@@ -132,7 +132,7 @@ pub fn solve_imep_ft(
                 }
                 // Survivor sum excludes the lost column.
                 let surv = sum_columns(&my_cols, n, Some(f.column));
-                let total = ctx.reduce_sum_f64(comm, MASTER, &surv);
+                let total = ctx.reduce_sum_owned_f64(comm, MASTER, surv);
                 if me == MASTER {
                     let total = total.expect("master receives the reduction");
                     let rec: Vec<f64> = checksum.iter().zip(&total).map(|(s, t)| s - t).collect();

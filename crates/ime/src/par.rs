@@ -24,6 +24,7 @@ use greenla_linalg::blas1::ddot;
 use greenla_linalg::flops;
 use greenla_linalg::generate::LinearSystem;
 use greenla_mpi::{Comm, RankCtx};
+use std::sync::Arc;
 
 /// Chunk size (f64 elements) of the pipelined column broadcast: 8 KiB —
 /// small enough that the per-hop depth penalty stays near the latency
@@ -116,13 +117,15 @@ impl ReducedTable {
     pub fn solve(&self, ctx: &mut RankCtx, comm: &Comm, b: &[f64]) -> Vec<f64> {
         let n = self.n;
         let me = comm.rank();
-        let mut b_rep = if me == MASTER {
+        let b_own = if me == MASTER {
             assert_eq!(b.len(), n, "rhs length mismatch");
-            b.to_vec()
+            Some(b.to_vec())
         } else {
-            Vec::new()
+            None
         };
-        ctx.bcast_f64(comm, MASTER, &mut b_rep);
+        // Read-only everywhere: every rank dots against the one shared
+        // replica instead of unwrapping a private copy.
+        let b_rep = ctx.bcast_shared_f64(comm, MASTER, b_own);
         let my_x: Vec<f64> = self
             .my_left
             .iter()
@@ -132,12 +135,12 @@ impl ReducedTable {
             flops::dgemv(my_x.len(), n),
             flops::bytes_f64(n * my_x.len()),
         );
-        let gathered = ctx.gather_f64(comm, MASTER, &my_x);
+        let gathered = ctx.gather_shared_f64(comm, MASTER, &my_x);
         let mut x = vec![0.0; n];
         if let Some(chunks) = gathered {
-            for (r, chunk) in chunks.into_iter().enumerate() {
+            for (r, chunk) in chunks.iter().enumerate() {
                 // Rank r owns left columns r, r+N, r+2N, … in that order.
-                for (t, v) in chunk.into_iter().enumerate() {
+                for (t, &v) in chunk.iter().enumerate() {
                     let j = r + t * self.nranks;
                     debug_assert!(j < n);
                     x[j] = v;
@@ -186,51 +189,59 @@ pub fn reduce_table(
 
     // ----- levels -----
     for l in (0..n).rev() {
-        // 1. Owner of column n+l broadcasts it.
+        // 1. Owner of column n+l broadcasts it. All downstream uses are
+        //    reads, so the binomial branch hands every rank the one shared
+        //    replica; the pipelined branch assembles chunks into an owned
+        //    buffer by construction.
         let last_col_owner = owner(n + l, nranks);
-        let mut c_lvl: Vec<f64> = if me == last_col_owner {
+        let own_col = || {
             let (_, col) = my_cols
                 .iter()
                 .find(|(c, _)| *c == n + l)
                 .expect("owner must hold the level column");
             col.clone()
-        } else {
-            Vec::new()
         };
-        if opts.pipelined_bcast {
-            ctx.bcast_pipelined_f64(comm, last_col_owner, &mut c_lvl, BCAST_CHUNK);
+        let c_lvl: Arc<Vec<f64>> = if opts.pipelined_bcast {
+            let mut buf = if me == last_col_owner {
+                own_col()
+            } else {
+                Vec::new()
+            };
+            ctx.bcast_pipelined_f64(comm, last_col_owner, &mut buf, BCAST_CHUNK);
+            Arc::new(buf)
         } else {
-            ctx.bcast_f64(comm, last_col_owner, &mut c_lvl);
-        }
+            let data = (me == last_col_owner).then(own_col);
+            ctx.bcast_shared_f64(comm, last_col_owner, data)
+        };
 
         // 2. Auxiliary quantities h^(l): computed at the master and
         //    broadcast (paper protocol), or derived locally by every rank
         //    from the column it just received (optimised variant). A failed
         //    level is signalled in-band / detected identically everywhere.
-        let (hl, h_owned): (f64, Vec<f64>) = if opts.centralized_h {
-            let mut h = if me == MASTER {
+        //    Under the paper protocol, h_l travels as the first element and
+        //    is read in place (no O(n) shift, no unwrap copy).
+        let (hl, h_buf, h_off): (f64, Arc<Vec<f64>>, usize) = if opts.centralized_h {
+            let h = if me == MASTER {
                 let piv = c_lvl[l];
-                if piv == 0.0 {
+                Some(if piv == 0.0 {
                     vec![f64::NAN] // failure sentinel
                 } else {
                     let mut h = Vec::with_capacity(n + 1);
                     h.push(1.0 / piv); // h_l as first element
                     h.extend(c_lvl.iter().map(|&v| v / piv));
                     h
-                }
+                })
             } else {
-                Vec::new()
+                None
             };
             if me == MASTER {
                 ctx.compute((n + 1) as u64, flops::bytes_f64(n));
             }
-            ctx.bcast_f64(comm, MASTER, &mut h);
+            let h = ctx.bcast_shared_f64(comm, MASTER, h);
             if h.len() == 1 {
                 return Err(ImeError::ZeroInhibitor { level: l });
             }
-            let hl = h[0];
-            h.remove(0);
-            (hl, h)
+            (h[0], h, 1)
         } else {
             let piv = c_lvl[l];
             if piv == 0.0 {
@@ -238,9 +249,9 @@ pub fn reduce_table(
             }
             let h: Vec<f64> = c_lvl.iter().map(|&v| v / piv).collect();
             ctx.compute((n + 1) as u64, flops::bytes_f64(n));
-            (1.0 / piv, h)
+            (1.0 / piv, Arc::new(h), 0)
         };
-        let h = &h_owned[..];
+        let h = &h_buf[h_off..];
 
         // 3. Fundamental update on my active columns (left `l..n`, right
         //    `< l`); column n+l itself is eliminated to a basis vector.

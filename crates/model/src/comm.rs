@@ -2,10 +2,18 @@
 //!
 //! Each function mirrors the corresponding algorithm in
 //! `greenla_mpi::coll`: binomial trees for ordinary broadcasts/reductions,
-//! the chunked binary-tree pipeline for large broadcasts, linear gathers,
-//! and max-synchronising barriers.
+//! the chunked binary-tree pipeline for large broadcasts, recursive
+//! doubling for allreduce above the small-payload threshold, the ring for
+//! allgather, linear gathers, and max-synchronising barriers. The traffic
+//! closed forms (`*_traffic`) give the exact message/element counts the
+//! runtime's `greenla_mpi::Traffic` tally must reproduce.
 
 use crate::params::MachineParams;
+
+/// Mirror of `greenla_mpi::coll::COLL_SMALL_BYTES`: sum-allreduces at or
+/// below this payload size keep the latency-optimal reduce+bcast tree
+/// composition; larger ones use recursive doubling.
+pub const COLL_SMALL_BYTES: f64 = 512.0;
 
 fn log2c(p: usize) -> f64 {
     if p <= 1 {
@@ -13,6 +21,14 @@ fn log2c(p: usize) -> f64 {
     } else {
         (p as f64).log2().ceil()
     }
+}
+
+fn prev_pow2(p: usize) -> usize {
+    let mut q = 1;
+    while q * 2 <= p {
+        q *= 2;
+    }
+    q
 }
 
 /// Binomial-tree broadcast of `bytes` over `p` ranks: depth hops, each a
@@ -43,9 +59,65 @@ pub fn reduce_binomial(p: usize, bytes: f64, m: &MachineParams) -> f64 {
     log2c(p) * m.p2p(bytes)
 }
 
-/// Allreduce = reduce + broadcast.
+/// Recursive-doubling allreduce (see `RankCtx::allreduce_rd`): a
+/// fold/unfold round-trip when `p` is not a power of two, then
+/// `log₂ p₂` full-payload exchange rounds. Bandwidth term is
+/// `log₂ p₂ · β·bytes` versus the tree composition's `2·⌈log₂ p⌉`.
+pub fn allreduce_rd(p: usize, bytes: f64, m: &MachineParams) -> f64 {
+    if p <= 1 {
+        return 0.0;
+    }
+    let p2 = prev_pow2(p);
+    let fold = if p2 != p { 2.0 * m.p2p(bytes) } else { 0.0 };
+    fold + (p2 as f64).log2() * m.p2p(bytes)
+}
+
+/// Allreduce as the runtime selects it: reduce + broadcast trees at or
+/// below [`COLL_SMALL_BYTES`], recursive doubling above. (The scalar
+/// max/maxloc variants carry 8–16 bytes and therefore always resolve to
+/// the trees.)
 pub fn allreduce(p: usize, bytes: f64, m: &MachineParams) -> f64 {
-    reduce_binomial(p, bytes, m) + bcast_binomial(p, bytes, m)
+    if bytes <= COLL_SMALL_BYTES {
+        reduce_binomial(p, bytes, m) + bcast_binomial(p, bytes, m)
+    } else {
+        allreduce_rd(p, bytes, m)
+    }
+}
+
+/// Ring allgather of `total_bytes` spread evenly over `p` ranks: `p − 1`
+/// steps, each forwarding one `total/p`-sized chunk to the right
+/// neighbour. Bandwidth-optimal: `(p−1)/p · β·total` on the wire.
+pub fn allgather_ring(p: usize, total_bytes: f64, m: &MachineParams) -> f64 {
+    if p <= 1 {
+        return 0.0;
+    }
+    (p as f64 - 1.0) * m.p2p(total_bytes / p as f64)
+}
+
+/// Exact traffic of the recursive-doubling allreduce over `p` ranks with
+/// `elems` elements per contribution: `(messages, elements)`. Fold and
+/// unfold contribute one full-payload message each per excess rank
+/// (`r = p − p₂`); the butterfly sends one full payload per participant
+/// per round.
+pub fn allreduce_rd_traffic(p: usize, elems: u64) -> (u64, u64) {
+    if p <= 1 {
+        return (0, 0);
+    }
+    let p2 = prev_pow2(p) as u64;
+    let r = p as u64 - p2;
+    let msgs = 2 * r + p2 * p2.ilog2() as u64;
+    (msgs, msgs * elems)
+}
+
+/// Exact traffic of the ring allgather over `p` ranks with `total_elems`
+/// elements overall: every rank sends one chunk per step for `p − 1`
+/// steps, and each chunk travels the ring `p − 1` times.
+pub fn allgather_ring_traffic(p: usize, total_elems: u64) -> (u64, u64) {
+    if p <= 1 {
+        return (0, 0);
+    }
+    let pu = p as u64;
+    (pu * (pu - 1), (pu - 1) * total_elems)
 }
 
 /// Linear gather to a root: the root serialises one receive overhead per
@@ -101,6 +173,48 @@ mod tests {
         assert_eq!(bcast_binomial(1, 1e6, &m), 0.0);
         assert_eq!(bcast_pipelined(1, 1e6, 65536.0, &m), 0.0);
         assert_eq!(gather_linear(1, 1e6, &m), 0.0);
+        assert_eq!(allreduce_rd(1, 1e6, &m), 0.0);
+        assert_eq!(allgather_ring(1, 1e6, &m), 0.0);
         assert_eq!(barrier(1, &m), m.o);
+    }
+
+    #[test]
+    fn recursive_doubling_halves_tree_bandwidth() {
+        let m = m();
+        let big = 8.0 * 1024.0 * 1024.0;
+        let tree = reduce_binomial(64, big, &m) + bcast_binomial(64, big, &m);
+        let rd = allreduce_rd(64, big, &m);
+        // Power of two: log₂ 64 rounds vs 2·log₂ 64 hops — exactly half.
+        assert!((rd / tree - 0.5).abs() < 1e-9, "ratio {}", rd / tree);
+        // The size switch hands large payloads to recursive doubling and
+        // keeps small ones on the trees.
+        assert_eq!(allreduce(64, big, &m), rd);
+        assert_eq!(
+            allreduce(64, 512.0, &m),
+            reduce_binomial(64, 512.0, &m) + bcast_binomial(64, 512.0, &m)
+        );
+    }
+
+    #[test]
+    fn ring_beats_tree_allgather_on_large_payloads() {
+        let m = m();
+        // Tree composition: gather to root, then rebroadcast the full
+        // concatenation — the bcast alone moves log₂p · total bytes.
+        let total = 8.0 * 1024.0 * 1024.0;
+        let p = 64;
+        let tree = gather_linear(p, total / p as f64, &m) + bcast_binomial(p, total, &m);
+        let ring = allgather_ring(p, total, &m);
+        assert!(tree / ring > 1.3, "ratio {}", tree / ring);
+    }
+
+    #[test]
+    fn traffic_closed_forms() {
+        // Power of two: butterfly only.
+        assert_eq!(allreduce_rd_traffic(8, 10), (8 * 3, 8 * 3 * 10));
+        // p = 6: p₂ = 4, r = 2 → 2 fold + 2 unfold + 4·2 butterfly.
+        assert_eq!(allreduce_rd_traffic(6, 5), (12, 60));
+        assert_eq!(allreduce_rd_traffic(1, 7), (0, 0));
+        assert_eq!(allgather_ring_traffic(8, 40), (56, 280));
+        assert_eq!(allgather_ring_traffic(1, 40), (0, 0));
     }
 }

@@ -116,9 +116,10 @@ impl MonitorHandle {
                 }
             }
         }
-        // The monitoring rank shares its bring-up status with its node.
+        // The monitoring rank shares its bring-up status with its node;
+        // everyone only reads it, so it travels as one shared word.
         let root = node_comm.size() - 1;
-        ctx.bcast_u64(&node_comm, root, &mut status);
+        let status = ctx.bcast_shared_u64(&node_comm, root, is_monitor.then_some(status));
         let degraded = status[0] == STATUS_DEGRADED;
         if status[0] != STATUS_OK && !degraded {
             ctx.trace_end("monitor", "monitor_begin");

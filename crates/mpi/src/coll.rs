@@ -1,22 +1,50 @@
-//! Data-moving collectives, implemented as binomial trees over the
-//! point-to-point layer so their timing and traffic emerge from the same
-//! α + β·size model as everything else.
+//! Data-moving collectives built over the point-to-point layer so their
+//! timing and traffic emerge from the same α + β·size model as everything
+//! else.
 //!
-//! A tree broadcast over `P` ranks performs `P − 1` sends — the same count
-//! the paper's closed-form message formulas assume for master-to-slaves
-//! broadcasts — while achieving `O(log P)` depth, as production MPI does.
+//! Two algorithm families coexist, selected by payload size exactly as
+//! production MPI does:
+//!
+//! * **Trees** (binomial broadcast/reduce, linear gather) for small
+//!   payloads, where latency dominates and `α·log P` depth wins. A tree
+//!   broadcast over `P` ranks performs `P − 1` sends — the count the
+//!   paper's closed-form message formulas assume.
+//! * **Recursive doubling** (allreduce) and a **ring** (allgather) for
+//!   larger payloads, replacing the old reduce-to-0-then-broadcast and
+//!   gather-then-broadcast compositions: the critical path drops from
+//!   `O((α + β·s)·log P + root serialization)` to the standard
+//!   `α·log P + β·s` (allreduce) and `(P−1)·(α + β·s/P)` (allgather)
+//!   bandwidth-optimal bounds.
+//!
+//! The switch point is [`COLL_SMALL_BYTES`]. The scalar max/maxloc
+//! allreduces carry fixed 8–16 byte payloads, permanently below the
+//! threshold, so for them the selection rule resolves to the trees at
+//! compile time — which also keeps the paper's closed-form per-column
+//! message counts (one reduce tree + one broadcast tree per pivot)
+//! intact. Payload fan-out everywhere shares one `Arc` allocation per
+//! buffer — see [`crate::envelope::Payload`].
 
 use crate::comm::Comm;
 use crate::context::{RankCtx, COLL_TAG};
 use crate::envelope::Payload;
+use crate::error::CollContractError;
 use greenla_check::tagspace;
 use greenla_check::{CollEvent, CollKind};
+use std::sync::Arc;
 
 /// Marker chunk id for unchunked collective messages (keeps plain and
 /// pipelined tags disjoint under one sequence number).
 const PLAIN_CHUNK: u64 = 0xfffff;
 /// Chunk id of the pipelined-broadcast header message.
 const HEADER_CHUNK: u64 = 0xffffe;
+
+/// Payloads at or below this many bytes take the latency-optimized tree
+/// algorithms; larger ones take recursive doubling / the ring. 512 B is
+/// where the α and β terms cross for the simulated network (α ≈ 1.8 µs,
+/// β ≈ 1/12.5 GB/s: β·512 ≈ 41 ns ≪ α, so halving byte volume cannot pay
+/// for even one extra latency on the critical path below this size).
+/// `model::comm` mirrors this constant for its closed-form predictions.
+pub const COLL_SMALL_BYTES: u64 = 512;
 
 /// Pack a collective message tag: the `COLL_TAG` bit, a 43-bit
 /// per-communicator sequence number, and a 20-bit chunk id. The fields
@@ -34,6 +62,33 @@ pub(crate) fn compose_coll_tag(seq: u64, chunk: u64) -> u64 {
         "collective sequence number {seq} overflows into the COLL_TAG bit"
     );
     COLL_TAG | (seq << tagspace::CHUNK_BITS) | chunk
+}
+
+/// Largest power of two not exceeding `p`.
+fn prev_pow2(p: usize) -> usize {
+    debug_assert!(p >= 1);
+    if p.is_power_of_two() {
+        p
+    } else {
+        p.next_power_of_two() / 2
+    }
+}
+
+/// Map a recursive-doubling participant id back to its communicator rank
+/// (inverse of the non-power-of-two fold: the first `2r` ranks fold into
+/// `r` odd survivors, ranks `≥ 2r` keep their position shifted by `r`).
+fn rd_participant_rank(newrank: usize, r: usize) -> usize {
+    if newrank < r {
+        2 * newrank + 1
+    } else {
+        newrank + r
+    }
+}
+
+fn sum_op(a: &mut [f64], b: &[f64]) {
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += y;
+    }
 }
 
 impl<'m> RankCtx<'m> {
@@ -54,7 +109,24 @@ impl<'m> RankCtx<'m> {
         seq
     }
 
-    /// Binomial-tree broadcast of an arbitrary payload from `root`.
+    /// Abort the run with the stable collective-contract diagnostic when a
+    /// peer's reduction buffer does not match ours.
+    fn check_reduce_len(&self, comm: &Comm, got: usize, expected: usize) {
+        if got != expected {
+            panic!(
+                "{}",
+                CollContractError::ReduceLengthMismatch {
+                    comm: comm.id(),
+                    rank: self.rank(),
+                    got,
+                    expected,
+                }
+            );
+        }
+    }
+
+    /// Binomial-tree broadcast of an arbitrary payload from `root`. Every
+    /// hop forwards the same shared buffer (an `Arc` bump, never a copy).
     fn bcast_payload(&mut self, comm: &Comm, root: usize, payload: Option<Payload>) -> Payload {
         let p = comm.size();
         let seq = self.coll_site(comm, CollKind::Bcast, Some(root), 0);
@@ -93,16 +165,56 @@ impl<'m> RankCtx<'m> {
     }
 
     /// `MPI_Bcast` of doubles: `buf` is the payload at the root and is
-    /// overwritten (and resized) everywhere else.
+    /// overwritten (and resized) everywhere else. Receivers that only read
+    /// the result should prefer [`RankCtx::bcast_shared_f64`], which skips
+    /// the copy-on-unwrap of a buffer still shared with in-flight sends.
     pub fn bcast_f64(&mut self, comm: &Comm, root: usize, buf: &mut Vec<f64>) {
         self.trace_begin("coll", "bcast");
         let payload = if comm.rank() == root {
-            Some(Payload::F64(std::mem::take(buf)))
+            Some(Payload::f64(std::mem::take(buf)))
         } else {
             None
         };
         *buf = self.bcast_payload(comm, root, payload).expect_f64();
         self.trace_end("coll", "bcast");
+    }
+
+    /// Zero-copy `MPI_Bcast` of doubles for read-only consumers: the root
+    /// passes `Some(data)`, everyone gets back a handle to one shared
+    /// allocation per delivery chain — no per-hop clone, no unwrap copy.
+    pub fn bcast_shared_f64(
+        &mut self,
+        comm: &Comm,
+        root: usize,
+        data: Option<Vec<f64>>,
+    ) -> Arc<Vec<f64>> {
+        self.trace_begin("coll", "bcast");
+        let payload = if comm.rank() == root {
+            Some(Payload::f64(data.expect("root must supply the payload")))
+        } else {
+            None
+        };
+        let out = self.bcast_payload(comm, root, payload).into_shared_f64();
+        self.trace_end("coll", "bcast");
+        out
+    }
+
+    /// Zero-copy `MPI_Bcast` of u64 values for read-only consumers.
+    pub fn bcast_shared_u64(
+        &mut self,
+        comm: &Comm,
+        root: usize,
+        data: Option<Vec<u64>>,
+    ) -> Arc<Vec<u64>> {
+        self.trace_begin("coll", "bcast");
+        let payload = if comm.rank() == root {
+            Some(Payload::u64(data.expect("root must supply the payload")))
+        } else {
+            None
+        };
+        let out = self.bcast_payload(comm, root, payload).into_shared_u64();
+        self.trace_end("coll", "bcast");
+        out
     }
 
     /// Pipelined large-message broadcast: a binary tree over the
@@ -111,7 +223,8 @@ impl<'m> RankCtx<'m> {
     /// `O(α·log P + β·size)` instead of the binomial tree's
     /// `O((α + β·size)·log P)` — what production MPI switches to above a
     /// few kilobytes. Falls back to the binomial tree for payloads of at
-    /// most one chunk.
+    /// most one chunk. Interior ranks forward each chunk to both subtrees
+    /// as the same shared buffer.
     pub fn bcast_pipelined_f64(
         &mut self,
         comm: &Comm,
@@ -171,17 +284,18 @@ impl<'m> RankCtx<'m> {
         for c in 0..nchunks {
             let lo = c * chunk_elems;
             let hi = total.min(lo + chunk_elems);
-            let piece: Vec<f64> = if rel == 0 {
-                out[lo..hi].to_vec()
+            // The root materialises each chunk once; everyone downstream
+            // appends from a borrow and forwards the same allocation.
+            let piece: Payload = if rel == 0 {
+                Payload::f64(out[lo..hi].to_vec())
             } else {
-                let got = self
-                    .recv_payload(comm, parent.expect("non-root has parent"), tag(c as u64))
-                    .expect_f64();
-                out.extend_from_slice(&got);
+                let got =
+                    self.recv_payload(comm, parent.expect("non-root has parent"), tag(c as u64));
+                out.extend_from_slice(got.as_f64());
                 got
             };
             for &k in &kids {
-                self.send_payload(comm, k, tag(c as u64), Payload::F64(piece.clone()));
+                self.send_payload(comm, k, tag(c as u64), piece.clone());
             }
         }
         *buf = out;
@@ -193,14 +307,14 @@ impl<'m> RankCtx<'m> {
     }
 
     fn send_payload_u64(&mut self, comm: &Comm, dst_index: usize, tag: u64, data: &[u64]) {
-        self.send_payload(comm, dst_index, tag, Payload::U64(data.to_vec()));
+        self.send_payload(comm, dst_index, tag, Payload::u64(data.to_vec()));
     }
 
     /// `MPI_Bcast` of u64 values.
     pub fn bcast_u64(&mut self, comm: &Comm, root: usize, buf: &mut Vec<u64>) {
         self.trace_begin("coll", "bcast");
         let payload = if comm.rank() == root {
-            Some(Payload::U64(std::mem::take(buf)))
+            Some(Payload::u64(std::mem::take(buf)))
         } else {
             None
         };
@@ -245,13 +359,13 @@ impl<'m> RankCtx<'m> {
                 let src_rel = rel | mask;
                 if src_rel < p {
                     let src_index = (src_rel + root) % p;
-                    let other = self.recv_payload(comm, src_index, tag).expect_f64();
-                    assert_eq!(other.len(), acc.len(), "reduce length mismatch");
-                    op(&mut acc, &other);
+                    let other = self.recv_payload(comm, src_index, tag);
+                    self.check_reduce_len(comm, other.as_f64().len(), acc.len());
+                    op(&mut acc, other.as_f64());
                 }
             } else {
                 let dst_index = (rel - mask + root) % p;
-                self.send_payload(comm, dst_index, tag, Payload::F64(acc));
+                self.send_payload(comm, dst_index, tag, Payload::f64(acc));
                 return None;
             }
             mask <<= 1;
@@ -261,24 +375,120 @@ impl<'m> RankCtx<'m> {
 
     /// `MPI_Reduce(MPI_SUM)` of f64 vectors.
     pub fn reduce_sum_f64(&mut self, comm: &Comm, root: usize, data: &[f64]) -> Option<Vec<f64>> {
-        self.reduce_f64_with(comm, root, data.to_vec(), |a, b| {
-            for (x, y) in a.iter_mut().zip(b) {
-                *x += y;
+        self.reduce_sum_owned_f64(comm, root, data.to_vec())
+    }
+
+    /// `MPI_Reduce(MPI_SUM)` taking ownership of the contribution: callers
+    /// that already own the buffer skip the `to_vec` the slice API pays.
+    pub fn reduce_sum_owned_f64(
+        &mut self,
+        comm: &Comm,
+        root: usize,
+        data: Vec<f64>,
+    ) -> Option<Vec<f64>> {
+        self.reduce_f64_with(comm, root, data, sum_op)
+    }
+
+    /// Recursive-doubling allreduce of an owned vector with a commutative
+    /// element-wise combiner: `⌈log₂ P⌉` exchange rounds, every rank busy
+    /// every round, no root bottleneck. Non-power-of-two sizes fold the
+    /// first `2r` ranks (where `r = P − 2^⌊log₂P⌋`) into `r` survivors
+    /// before the butterfly and unfold after, per the standard MPICH
+    /// scheme.
+    ///
+    /// Every rank applies the combiner over the same pairing tree (only
+    /// operand order differs), so for a *commutative* op — IEEE addition
+    /// and max/maxloc selection both qualify — all ranks produce
+    /// bit-identical results.
+    fn allreduce_rd(
+        &mut self,
+        comm: &Comm,
+        mut acc: Vec<f64>,
+        op: impl Fn(&mut [f64], &[f64]),
+    ) -> Vec<f64> {
+        let p = comm.size();
+        let seq = self.coll_site(comm, CollKind::Allreduce, None, acc.len() as u64);
+        if p == 1 {
+            return acc;
+        }
+        let me = comm.rank();
+        let p2 = prev_pow2(p);
+        let r = p - p2;
+        let steps = p2.trailing_zeros() as u64;
+        if self.checker.enabled() {
+            // Tag chunks: 0 = fold, 1..=steps = butterfly rounds,
+            // steps+1 = unfold.
+            let t = self.clock;
+            self.checker.coll_tag_space(seq, steps + 2, t);
+        }
+        let tag = |chunk: u64| compose_coll_tag(seq, chunk);
+        // Fold phase: even ranks below 2r contribute to their odd
+        // neighbour and sit out the butterfly.
+        let newrank: Option<usize> = if me < 2 * r {
+            if me & 1 == 0 {
+                let contrib = std::mem::take(&mut acc);
+                self.send_payload(comm, me + 1, tag(0), Payload::f64(contrib));
+                None
+            } else {
+                let other = self.recv_payload(comm, me - 1, tag(0));
+                self.check_reduce_len(comm, other.as_f64().len(), acc.len());
+                op(&mut acc, other.as_f64());
+                Some(me / 2)
             }
-        })
+        } else {
+            Some(me - r)
+        };
+        if let Some(nr) = newrank {
+            for s in 0..steps {
+                let partner_nr = nr ^ (1usize << s);
+                let partner = rd_participant_rank(partner_nr, r);
+                self.send_payload(comm, partner, tag(1 + s), Payload::f64(acc.clone()));
+                let other = self.recv_payload(comm, partner, tag(1 + s));
+                self.check_reduce_len(comm, other.as_f64().len(), acc.len());
+                op(&mut acc, other.as_f64());
+            }
+        }
+        // Unfold phase: odd survivors hand the result back to their even
+        // neighbour.
+        if me < 2 * r {
+            if me & 1 == 0 {
+                acc = self.recv_payload(comm, me + 1, tag(1 + steps)).expect_f64();
+            } else {
+                self.send_payload(comm, me - 1, tag(1 + steps), Payload::f64(acc.clone()));
+            }
+        }
+        acc
     }
 
-    /// `MPI_Allreduce(MPI_SUM)` of f64 vectors (reduce to 0, then bcast).
+    /// `MPI_Allreduce(MPI_SUM)` of f64 vectors: recursive doubling above
+    /// [`COLL_SMALL_BYTES`], the legacy reduce-then-broadcast tree pair at
+    /// or below it (latency dominates tiny payloads, and the tree pair is
+    /// what the paper's per-block formulas count).
     pub fn allreduce_sum_f64(&mut self, comm: &Comm, data: &[f64]) -> Vec<f64> {
-        self.trace_begin("coll", "allreduce");
-        let reduced = self.reduce_sum_f64(comm, 0, data);
-        let mut buf = reduced.unwrap_or_default();
-        self.bcast_f64(comm, 0, &mut buf);
-        self.trace_end("coll", "allreduce");
-        buf
+        self.allreduce_sum_owned_f64(comm, data.to_vec())
     }
 
-    /// `MPI_Allreduce(MPI_MAX)` of a scalar.
+    /// Owned-input [`RankCtx::allreduce_sum_f64`]: callers that already own
+    /// the contribution skip the copy.
+    pub fn allreduce_sum_owned_f64(&mut self, comm: &Comm, data: Vec<f64>) -> Vec<f64> {
+        if 8 * data.len() as u64 <= COLL_SMALL_BYTES {
+            self.trace_begin("coll", "allreduce");
+            let reduced = self.reduce_f64_with(comm, 0, data, sum_op);
+            let mut buf = reduced.unwrap_or_default();
+            self.bcast_f64(comm, 0, &mut buf);
+            self.trace_end("coll", "allreduce");
+            buf
+        } else {
+            self.trace_begin("coll", "allreduce_rd");
+            let out = self.allreduce_rd(comm, data, sum_op);
+            self.trace_end("coll", "allreduce_rd");
+            out
+        }
+    }
+
+    /// `MPI_Allreduce(MPI_MAX)` of a scalar. An 8-byte payload is always
+    /// below [`COLL_SMALL_BYTES`], so the size rule resolves statically to
+    /// the reduce-then-broadcast tree pair.
     pub fn allreduce_max_f64(&mut self, comm: &Comm, v: f64) -> f64 {
         self.trace_begin("coll", "allreduce");
         let reduced = self.reduce_f64_with(comm, 0, vec![v], |a, b| {
@@ -294,7 +504,10 @@ impl<'m> RankCtx<'m> {
 
     /// `MPI_Allreduce(MPI_MAXLOC)`: the maximum of `|v|` ties broken by the
     /// smaller `loc`; returns `(winning value, winning loc)`. The pivot
-    /// search of distributed LU is built on this.
+    /// search of distributed LU is built on this. Its fixed 16-byte
+    /// payload is always below [`COLL_SMALL_BYTES`], so the size rule
+    /// resolves statically to the tree pair — which is also what the
+    /// paper's per-column message formulas count.
     pub fn allreduce_maxloc_abs(&mut self, comm: &Comm, v: f64, loc: u64) -> (f64, u64) {
         self.trace_begin("coll", "allreduce_maxloc");
         let reduced = self.reduce_f64_with(comm, 0, vec![v, loc as f64], |a, b| {
@@ -310,36 +523,152 @@ impl<'m> RankCtx<'m> {
         (buf[0], buf[1] as u64)
     }
 
-    /// `MPI_Gather` of variable-length f64 chunks: the root receives every
-    /// member's chunk in communicator order (its own included).
-    pub fn gather_f64(&mut self, comm: &Comm, root: usize, data: &[f64]) -> Option<Vec<Vec<f64>>> {
-        self.trace_begin("coll", "gather");
+    /// Gather every member's payload at the root, receiving in completion
+    /// order (earliest virtual arrival first) and slotting by source —
+    /// never head-of-line blocking on a slow low rank while faster high
+    /// ranks sit fully arrived.
+    fn gather_payloads(&mut self, comm: &Comm, root: usize, own: Payload) -> Option<Vec<Payload>> {
         let p = comm.size();
         let seq = self.coll_site(comm, CollKind::Gather, Some(root), 0);
         let tag = compose_coll_tag(seq, PLAIN_CHUNK);
         let me = comm.rank();
-        let result = if me == root {
-            let mut out: Vec<Vec<f64>> = Vec::with_capacity(p);
+        if me == root {
+            let srcs: Vec<usize> = (0..p).filter(|&i| i != me).collect();
+            let mut payloads = self.recv_payload_set(comm, &srcs, tag).into_iter();
+            let mut out: Vec<Payload> = Vec::with_capacity(p);
             for i in 0..p {
                 if i == me {
-                    out.push(data.to_vec());
+                    out.push(own.clone());
                 } else {
-                    out.push(self.recv_payload(comm, i, tag).expect_f64());
+                    out.push(payloads.next().expect("one payload per source"));
                 }
             }
             Some(out)
         } else {
-            self.send_payload(comm, root, tag, Payload::F64(data.to_vec()));
+            self.send_payload(comm, root, tag, own);
             None
-        };
+        }
+    }
+
+    /// `MPI_Gather` of variable-length f64 chunks: the root receives every
+    /// member's chunk (its own included), ordered by communicator rank.
+    pub fn gather_f64(&mut self, comm: &Comm, root: usize, data: &[f64]) -> Option<Vec<Vec<f64>>> {
+        self.trace_begin("coll", "gather");
+        let result = self
+            .gather_payloads(comm, root, Payload::f64(data.to_vec()))
+            .map(|chunks| chunks.into_iter().map(Payload::expect_f64).collect());
         self.trace_end("coll", "gather");
         result
     }
 
-    /// `MPI_Allgather` of variable-length f64 chunks: gather to rank 0 and
-    /// re-broadcast (counts first, then the flattened payload).
+    /// Zero-copy `MPI_Gather` for read-only roots: each received chunk is
+    /// handed over as the sender's own allocation.
+    pub fn gather_shared_f64(
+        &mut self,
+        comm: &Comm,
+        root: usize,
+        data: &[f64],
+    ) -> Option<Vec<Arc<Vec<f64>>>> {
+        self.trace_begin("coll", "gather");
+        let result = self
+            .gather_payloads(comm, root, Payload::f64(data.to_vec()))
+            .map(|chunks| chunks.into_iter().map(Payload::into_shared_f64).collect());
+        self.trace_end("coll", "gather");
+        result
+    }
+
+    /// Ring allgather core: step `s` sends chunk `(me − s) mod p` to the
+    /// right neighbour and receives chunk `(me − 1 − s) mod p` from the
+    /// left, so after `p − 1` steps everyone holds every chunk. Forwarded
+    /// chunks travel as the originator's shared allocation (an `Arc` bump
+    /// per hop). Handles variable-length (including empty) chunks
+    /// natively, which the old gather-then-broadcast needed a counts
+    /// round-trip for.
+    fn allgather_ring(&mut self, comm: &Comm, data: &[f64]) -> Vec<Payload> {
+        let p = comm.size();
+        let seq = self.coll_site(comm, CollKind::Allgather, None, 0);
+        let me = comm.rank();
+        let mut chunks: Vec<Option<Payload>> = (0..p).map(|_| None).collect();
+        chunks[me] = Some(Payload::f64(data.to_vec()));
+        if p > 1 {
+            if self.checker.enabled() {
+                let t = self.clock;
+                self.checker.coll_tag_space(seq, (p - 1) as u64, t);
+            }
+            let right = (me + 1) % p;
+            let left = (me + p - 1) % p;
+            for s in 0..p - 1 {
+                let send_idx = (me + p - s) % p;
+                let recv_idx = (me + p - 1 - s) % p;
+                let tag = compose_coll_tag(seq, s as u64);
+                let outgoing = chunks[send_idx]
+                    .as_ref()
+                    .expect("ring invariant: chunk present before step")
+                    .clone();
+                self.send_payload(comm, right, tag, outgoing);
+                chunks[recv_idx] = Some(self.recv_payload(comm, left, tag));
+            }
+        }
+        chunks
+            .into_iter()
+            .map(|c| c.expect("ring complete"))
+            .collect()
+    }
+
+    /// `MPI_Allgather` of variable-length f64 chunks via the ring
+    /// algorithm. Read-only consumers should prefer
+    /// [`RankCtx::allgather_shared_f64`], which skips materialising owned
+    /// copies of chunks still shared with in-flight forwards.
     pub fn allgather_f64(&mut self, comm: &Comm, data: &[f64]) -> Vec<Vec<f64>> {
-        self.trace_begin("coll", "allgather");
+        self.trace_begin("coll", "allgather_ring");
+        let out = self
+            .allgather_ring(comm, data)
+            .into_iter()
+            .map(Payload::expect_f64)
+            .collect();
+        self.trace_end("coll", "allgather_ring");
+        out
+    }
+
+    /// Zero-copy ring allgather: every chunk comes back as its
+    /// originator's shared allocation.
+    pub fn allgather_shared_f64(&mut self, comm: &Comm, data: &[f64]) -> Vec<Arc<Vec<f64>>> {
+        self.trace_begin("coll", "allgather_ring");
+        let out = self
+            .allgather_ring(comm, data)
+            .into_iter()
+            .map(Payload::into_shared_f64)
+            .collect();
+        self.trace_end("coll", "allgather_ring");
+        out
+    }
+
+    /// Size-adaptive allgather for callers that know the combined element
+    /// count up front (the hint must be communicator-uniform, like
+    /// `expected_len` in `pdgetrf::bcast_sized` — ranks switching
+    /// algorithms independently would deadlock, since per-rank chunk sizes
+    /// legitimately differ, including empty chunks on non-contributing
+    /// ranks). At or below [`COLL_SMALL_BYTES`] total, the latency-bound
+    /// tree composition wins; above it, the ring.
+    pub fn allgather_sized_f64(
+        &mut self,
+        comm: &Comm,
+        data: &[f64],
+        total_elems: usize,
+    ) -> Vec<Vec<f64>> {
+        if 8 * total_elems as u64 <= COLL_SMALL_BYTES {
+            self.allgather_f64_tree(comm, data)
+        } else {
+            self.allgather_f64(comm, data)
+        }
+    }
+
+    /// The legacy allgather composition — gather to rank 0, then broadcast
+    /// counts and the flattened payload. Kept as the small-payload
+    /// fallback of [`RankCtx::allgather_sized_f64`] and as the reference
+    /// algorithm the bench suite measures the ring against.
+    pub fn allgather_f64_tree(&mut self, comm: &Comm, data: &[f64]) -> Vec<Vec<f64>> {
+        self.trace_begin("coll", "allgather_tree");
         let gathered = self.gather_f64(comm, 0, data);
         let (mut counts, mut flat) = match gathered {
             Some(chunks) => {
@@ -358,7 +687,7 @@ impl<'m> RankCtx<'m> {
             out.push(flat[off..off + c].to_vec());
             off += c;
         }
-        self.trace_end("coll", "allgather");
+        self.trace_end("coll", "allgather_tree");
         out
     }
 }
@@ -409,5 +738,38 @@ mod tests {
     #[should_panic(expected = "overflows its 20-bit field")]
     fn coll_tag_rejects_chunk_overflow() {
         compose_coll_tag(0, tagspace::MAX_CHUNK + 1);
+    }
+
+    #[test]
+    fn rd_fold_mapping_is_a_bijection_onto_participants() {
+        // For every communicator size, the newrank → rank mapping must hit
+        // each butterfly participant exactly once, and the fold must pair
+        // every even sitter-out with an odd survivor.
+        for p in 1..=40usize {
+            let p2 = prev_pow2(p);
+            let r = p - p2;
+            let mut seen = vec![false; p];
+            for nr in 0..p2 {
+                let rank = rd_participant_rank(nr, r);
+                assert!(rank < p, "p={p}: participant {nr} maps to {rank}");
+                assert!(!seen[rank], "p={p}: rank {rank} mapped twice");
+                seen[rank] = true;
+            }
+            for (rank, active) in seen.iter().enumerate() {
+                let folded_out = rank < 2 * r && rank % 2 == 0;
+                assert_eq!(
+                    *active, !folded_out,
+                    "p={p}: rank {rank} participation is wrong"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn small_threshold_matches_the_model_crate_contract() {
+        // 64 f64 elements sit exactly on the switch boundary: the last
+        // payload served by the trees.
+        assert_eq!(COLL_SMALL_BYTES, 512);
+        assert_eq!(8 * 64, COLL_SMALL_BYTES);
     }
 }

@@ -469,6 +469,111 @@ impl<'m> RankCtx<'m> {
         }
     }
 
+    /// Receive one message with `tag` from *every* rank in `srcs`
+    /// (communicator indices), in completion order rather than list order.
+    /// The caller gets payloads back aligned with `srcs`, but the receive
+    /// cost is charged as the messages complete, not in rank order — a
+    /// gather root no longer head-of-line blocks on rank 1 while ranks
+    /// 2..p sit fully arrived in the queue.
+    ///
+    /// Determinism: envelopes are first *collected* (wall-clock order,
+    /// which may differ run to run) and only then *charged* in sorted
+    /// `(arrival, src)` order, so the virtual timeline depends only on the
+    /// virtual arrival times, never on OS scheduling.
+    pub(crate) fn recv_payload_set(
+        &mut self,
+        comm: &Comm,
+        srcs: &[usize],
+        tag: u64,
+    ) -> Vec<Payload> {
+        let cid = comm.id();
+        let srcs_g: Vec<usize> = srcs.iter().map(|&s| comm.global_rank(s)).collect();
+        debug_assert!(
+            srcs_g.iter().all(|&s| s != self.rank),
+            "self-receive in set"
+        );
+        if srcs_g.is_empty() {
+            return Vec::new();
+        }
+        if self.tracer.enabled() {
+            let t = self.clock;
+            self.tracer
+                .begin_with_args("comm", "recv_set", t, &[("count", srcs_g.len() as f64)]);
+        }
+        if self.checker.enabled() {
+            // One wait-for edge toward a representative source keeps the
+            // deadlock probe sound: if this rank can never be satisfied,
+            // the whole system is still blocked and the probe fires.
+            let t = self.clock;
+            self.checker.block_recv(srcs_g[0], cid, tag, t);
+        }
+        let mut got: Vec<Envelope> = Vec::with_capacity(srcs_g.len());
+        while got.len() < srcs_g.len() {
+            while let Some(pos) = self
+                .pending
+                .iter()
+                .position(|e| e.comm_id == cid && e.tag == tag && srcs_g.contains(&e.src))
+            {
+                got.push(self.pending.remove(pos));
+            }
+            if got.len() < srcs_g.len() {
+                self.pump_mailbox(srcs_g[0], tag);
+            }
+        }
+        // Charge deterministically: earliest virtual arrival first, ties
+        // broken by source rank.
+        got.sort_by(|a, b| {
+            a.arrival
+                .partial_cmp(&b.arrival)
+                .expect("finite arrivals")
+                .then(a.src.cmp(&b.src))
+        });
+        let o = self.spec.net.per_message_overhead_s;
+        let mut max_arrival: f64 = 0.0;
+        for env in &got {
+            if env.delayed {
+                self.faults.record_delay_observed();
+            }
+            if self.tracer.enabled() {
+                let t = self.clock;
+                self.tracer
+                    .begin_with_args("comm", "recv", t, &[("src", env.src as f64)]);
+            }
+            let done = (self.clock + o).max(env.arrival + o);
+            self.busy_until(done, ActivityKind::Comm);
+            if self.tracer.enabled() {
+                let t = self.clock;
+                self.tracer.end("comm", "recv", t);
+            }
+            max_arrival = max_arrival.max(env.arrival);
+        }
+        if self.checker.enabled() {
+            let t = self.clock;
+            self.checker.unblock_recv(max_arrival, t);
+        }
+        if self.tracer.enabled() {
+            let t = self.clock;
+            self.tracer.end("comm", "recv_set", t);
+        }
+        // Hand payloads back aligned with the caller's source list.
+        let mut out: Vec<Option<Payload>> = (0..srcs_g.len()).map(|_| None).collect();
+        for env in got {
+            let slot = srcs_g
+                .iter()
+                .position(|&s| s == env.src)
+                .expect("envelope matched the set");
+            assert!(
+                out[slot].is_none(),
+                "duplicate message from rank {} (comm {cid}, tag {tag})",
+                env.src
+            );
+            out[slot] = Some(env.payload);
+        }
+        out.into_iter()
+            .map(|p| p.expect("all slots filled"))
+            .collect()
+    }
+
     /// Non-blocking probe (`MPI_Iprobe`): has a message from `src` with
     /// `tag` on `comm` *arrived by this rank's current virtual time*?
     /// Drains the wire into the pending queue without blocking. A message
@@ -546,7 +651,7 @@ impl<'m> RankCtx<'m> {
     /// Send a slice of doubles to `dst` (communicator index) with `tag`.
     pub fn send_f64(&mut self, comm: &Comm, dst: usize, tag: u64, data: &[f64]) {
         assert!(tag < COLL_TAG, "user tag too large");
-        self.send_payload(comm, dst, tag, Payload::F64(data.to_vec()));
+        self.send_payload(comm, dst, tag, Payload::f64(data.to_vec()));
     }
 
     /// Receive doubles from `src` (communicator index) with `tag`.
@@ -558,7 +663,7 @@ impl<'m> RankCtx<'m> {
     /// Send unsigned 64-bit values.
     pub fn send_u64(&mut self, comm: &Comm, dst: usize, tag: u64, data: &[u64]) {
         assert!(tag < COLL_TAG, "user tag too large");
-        self.send_payload(comm, dst, tag, Payload::U64(data.to_vec()));
+        self.send_payload(comm, dst, tag, Payload::u64(data.to_vec()));
     }
 
     /// Receive unsigned 64-bit values.

@@ -25,3 +25,57 @@ impl fmt::Display for MachineError {
 }
 
 impl std::error::Error for MachineError {}
+
+/// A rank broke a collective's calling contract (e.g. contributed a
+/// reduce buffer of the wrong length). The runtime aborts the run with
+/// this diagnostic instead of a bare assert, so the chaos battery's
+/// stable abort-set contract covers malformed collectives: every panic
+/// message rendered from this type starts with
+/// `"collective contract violated"`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CollContractError {
+    /// Two ranks contributed different element counts to one reduction.
+    ReduceLengthMismatch {
+        comm: u64,
+        rank: usize,
+        got: usize,
+        expected: usize,
+    },
+}
+
+impl fmt::Display for CollContractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollContractError::ReduceLengthMismatch {
+                comm,
+                rank,
+                got,
+                expected,
+            } => write!(
+                f,
+                "collective contract violated: reduce length mismatch on comm {comm} \
+                 (rank {rank} combined {got} elems into a {expected}-elem accumulator)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CollContractError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contract_errors_render_the_stable_prefix() {
+        // The chaos battery matches abort messages against a fixed set of
+        // prefixes; this one must never drift.
+        let e = CollContractError::ReduceLengthMismatch {
+            comm: 0,
+            rank: 3,
+            got: 7,
+            expected: 8,
+        };
+        assert!(e.to_string().starts_with("collective contract violated"));
+    }
+}

@@ -47,7 +47,8 @@ pub mod traffic;
 
 pub use comm::Comm;
 pub use context::RankCtx;
-pub use error::MachineError;
+pub use envelope::{copy_audit, Payload};
+pub use error::{CollContractError, MachineError};
 pub use greenla_check::{CheckSink, CollEvent, CollKind, Rule, Violation};
 pub use greenla_faults::{
     ColumnLoss, CounterFault, CounterFaultKind, CrashFault, CrashWhen, FaultPlan, FaultReport,

@@ -257,11 +257,18 @@ impl Machine {
                             *mailboxes[rank].lock() = Some((ctx.rx, pending));
                         }
                         Err(payload) => {
-                            registry.poison();
-                            let mut slot = first_panic.lock();
-                            if slot.is_none() {
-                                *slot = Some(payload);
+                            // Record the payload BEFORE poisoning: cascade
+                            // panics ("a peer rank failed") only start once
+                            // the registry is poisoned, so this order
+                            // guarantees the run aborts with the root
+                            // cause's diagnostic, not a casualty's.
+                            {
+                                let mut slot = first_panic.lock();
+                                if slot.is_none() {
+                                    *slot = Some(payload);
+                                }
                             }
+                            registry.poison();
                         }
                     }
                 });
@@ -585,6 +592,64 @@ mod tests {
             assert_eq!(c.len(), i + 1);
         }
         assert!(out.results[1].is_none());
+    }
+
+    #[test]
+    fn mismatched_reduce_lengths_abort_with_the_stable_diagnostic() {
+        // A malformed collective must surface as the documented
+        // `CollContractError` message (the chaos battery's abort-set
+        // depends on the prefix), not as a bare slice-length assert.
+        let m = machine(8);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            m.run(|ctx| {
+                let world = ctx.world();
+                let len = if ctx.rank() == 5 { 3 } else { 2 };
+                ctx.reduce_sum_f64(&world, 0, &vec![1.0; len]);
+            })
+        }));
+        let payload = match r {
+            Err(p) => p,
+            Ok(_) => panic!("mismatched lengths must abort"),
+        };
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("collective contract violated: reduce length mismatch"),
+            "diagnostic drifted: {msg}"
+        );
+    }
+
+    #[test]
+    fn gather_charges_receives_in_completion_order() {
+        // All 8 ranks sit on one node, so permuting the senders'
+        // pre-gather compute times permutes the arrival times without
+        // changing their multiset. A root that receives in completion
+        // order finishes at the same virtual time either way; the old
+        // rank-ordered receive loop stalled on slow low ranks while
+        // arrived high ranks waited (head-of-line blocking), making the
+        // end time permutation-dependent.
+        let run = |weights: [u64; 8]| {
+            let out = machine(8).run(move |ctx| {
+                let world = ctx.world();
+                ctx.compute(weights[ctx.rank()] * 1_000_000, 0);
+                ctx.gather_f64(&world, 0, &[ctx.rank() as f64])
+            });
+            let chunks = out.results[0].clone().unwrap();
+            let flat: Vec<f64> = chunks.into_iter().flatten().collect();
+            assert_eq!(flat, (0..8).map(f64::from).collect::<Vec<_>>());
+            out.final_clocks[0]
+        };
+        // The root (rank 0) keeps the same weight in both runs; the other
+        // seven are reversed.
+        let ascending = run([0, 1, 2, 3, 4, 5, 6, 7]);
+        let descending = run([0, 7, 6, 5, 4, 3, 2, 1]);
+        assert_eq!(
+            ascending.to_bits(),
+            descending.to_bits(),
+            "completion-order gather must be invariant to arrival permutation"
+        );
     }
 
     #[test]

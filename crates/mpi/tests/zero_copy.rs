@@ -1,0 +1,114 @@
+//! Proof that the shared-payload collectives never copy a buffer: the
+//! process-global `copy_audit` counter (bumped only when `expect_*` has to
+//! clone a still-shared allocation) stays at zero across broadcast
+//! fan-out, pipelined streaming, gathers and the ring allgather, and the
+//! returned handles are pointer-identical across ranks.
+//!
+//! Everything lives in ONE test function: the audit counter is global to
+//! the process, so concurrently running `#[test]`s would see each other's
+//! copies.
+
+use greenla_cluster::placement::{LoadLayout, Placement};
+use greenla_cluster::spec::ClusterSpec;
+use greenla_cluster::PowerModel;
+use greenla_mpi::{copy_audit, Machine};
+use std::sync::Arc;
+
+fn machine(ranks: usize) -> Machine {
+    let spec = ClusterSpec::test_cluster(ranks.div_ceil(8), 4);
+    let placement = Placement::layout(&spec.node, ranks, LoadLayout::FullLoad).unwrap();
+    Machine::new(spec, placement, PowerModel::deterministic(), 5).unwrap()
+}
+
+#[test]
+fn shared_collectives_never_copy_a_payload() {
+    const P: usize = 8;
+
+    // --- binomial broadcast fan-out: one allocation for all P ranks ---
+    copy_audit::reset();
+    let out = machine(P).run(|ctx| {
+        let world = ctx.world();
+        let data = (ctx.rank() == 2).then(|| vec![0.5; 10_000]);
+        ctx.bcast_shared_f64(&world, 2, data)
+    });
+    assert_eq!(
+        copy_audit::count(),
+        0,
+        "broadcast fan-out must not copy the payload"
+    );
+    let root = &out.results[2];
+    for (r, got) in out.results.iter().enumerate() {
+        assert!(
+            Arc::ptr_eq(root, got),
+            "rank {r} must hold the root's allocation, not a copy"
+        );
+        assert_eq!(got.len(), 10_000);
+    }
+
+    // --- pipelined broadcast: chunks stream as borrows + Arc bumps ---
+    copy_audit::reset();
+    let out = machine(P).run(|ctx| {
+        let world = ctx.world();
+        let mut buf = if ctx.rank() == 0 {
+            (0..4096).map(|i| i as f64).collect()
+        } else {
+            Vec::new()
+        };
+        ctx.bcast_pipelined_f64(&world, 0, &mut buf, 512);
+        buf
+    });
+    assert_eq!(
+        copy_audit::count(),
+        0,
+        "pipelined chunks must be appended from borrows and forwarded shared"
+    );
+    for got in &out.results {
+        assert_eq!(got.len(), 4096);
+        assert_eq!(got[4095], 4095.0);
+    }
+
+    // --- gather: the root borrows every sender's allocation ---
+    copy_audit::reset();
+    machine(P).run(|ctx| {
+        let world = ctx.world();
+        let mine = vec![ctx.rank() as f64; 100 * (1 + ctx.rank() % 3)];
+        if let Some(chunks) = ctx.gather_shared_f64(&world, 1, &mine) {
+            for (src, c) in chunks.iter().enumerate() {
+                assert!(c.iter().all(|&v| v == src as f64));
+            }
+        }
+    });
+    assert_eq!(copy_audit::count(), 0, "gather must hand over, not copy");
+
+    // --- ring allgather: every rank ends up holding every originator's
+    // allocation (the same Arc travelled the whole ring) ---
+    copy_audit::reset();
+    let out = machine(P).run(|ctx| {
+        let world = ctx.world();
+        let mine = vec![ctx.rank() as f64; 2000];
+        ctx.allgather_shared_f64(&world, &mine)
+    });
+    assert_eq!(
+        copy_audit::count(),
+        0,
+        "ring forwarding must be an Arc bump per hop"
+    );
+    for j in 0..P {
+        let origin = &out.results[j][j];
+        for (r, res) in out.results.iter().enumerate() {
+            assert!(
+                Arc::ptr_eq(origin, &res[j]),
+                "rank {r}'s chunk {j} must share the originator's allocation"
+            );
+        }
+    }
+
+    // --- control: unwrapping a still-shared payload IS counted, so the
+    // zero assertions above actually prove something ---
+    copy_audit::reset();
+    let p = greenla_mpi::Payload::f64(vec![1.0; 8]);
+    let q = p.clone();
+    assert_eq!(q.expect_f64(), vec![1.0; 8]);
+    drop(p);
+    assert_eq!(copy_audit::count(), 1, "the audit counter must be live");
+}

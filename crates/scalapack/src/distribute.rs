@@ -70,11 +70,12 @@ impl DistMatrix {
     /// Gather the distributed matrix to the grid's rank 0 (communicator
     /// index 0 of `grid.all()`), which returns the assembled global matrix.
     pub fn gather_to_root(&self, ctx: &mut RankCtx, grid: &ProcessGrid) -> Option<Matrix> {
-        let flat = self.local.as_slice().to_vec();
-        let chunks = ctx.gather_f64(grid.all(), 0, &flat)?;
+        // The root only reads each chunk while scattering it into the
+        // assembled matrix, so it borrows the senders' allocations.
+        let chunks = ctx.gather_shared_f64(grid.all(), 0, self.local.as_slice())?;
         let desc = self.desc;
         let mut out = Matrix::zeros(desc.m, desc.n);
-        for (idx, chunk) in chunks.into_iter().enumerate() {
+        for (idx, chunk) in chunks.iter().enumerate() {
             let (prow, pcol) = grid.coords_of(idx);
             let lr = desc.local_rows(prow);
             let lc = desc.local_cols(pcol);

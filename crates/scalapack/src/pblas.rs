@@ -35,7 +35,7 @@ pub fn pdgemv_replicated(
         flops::dgemv(a.local.rows(), a.local.cols()),
         flops::bytes_f64(a.local.rows() * a.local.cols()),
     );
-    ctx.allreduce_sum_f64(grid.all(), &partial)
+    ctx.allreduce_sum_owned_f64(grid.all(), partial)
 }
 
 #[cfg(test)]

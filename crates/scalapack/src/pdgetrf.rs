@@ -142,15 +142,15 @@ pub fn pdgetrf(
                 panel_piv[jj] = pg;
                 // Swap rows j ↔ pg inside the panel columns only.
                 swap_rows_local_cols(ctx, grid, a, j, pg as usize, &panel_lcols, j as u64);
-                // Broadcast the (post-swap) pivot row segment a[j, j..k+kb].
+                // Broadcast the (post-swap) pivot row segment a[j, j..k+kb];
+                // it is only read below, so every rank works off the one
+                // shared replica.
                 let ow = d.row_owner(j);
-                let mut rowseg: Vec<f64> = if myrow == ow {
+                let seg: Option<Vec<f64>> = (myrow == ow).then(|| {
                     let lr = d.lrow(j);
                     (j..k + kb).map(|g| a.local[(lr, d.lcol(g))]).collect()
-                } else {
-                    Vec::new()
-                };
-                ctx.bcast_f64(&col_comm, ow, &mut rowseg);
+                });
+                let rowseg = ctx.bcast_shared_f64(&col_comm, ow, seg);
                 let piv = rowseg[0];
                 // Scale multipliers and rank-1 update inside the panel.
                 let lbelow = a.local_rows_below(j + 1);
@@ -171,17 +171,15 @@ pub fn pdgetrf(
         }
 
         // ----- phase B: publish panel outcome along process rows -----
-        let mut meta: Vec<u64> = if mycol == pcol_k {
+        let meta_own: Option<Vec<u64>> = (mycol == pcol_k).then(|| {
             let mut v = Vec::with_capacity(kb + 2);
             v.push(singular.is_some() as u64);
             v.push(singular.unwrap_or(0) as u64);
             v.extend_from_slice(&panel_piv);
             v
-        } else {
-            Vec::new()
-        };
+        });
         let row_comm = grid.row_comm().clone();
-        ctx.bcast_u64(&row_comm, pcol_k, &mut meta);
+        let meta = ctx.bcast_shared_u64(&row_comm, pcol_k, meta_own);
         if meta[0] != 0 {
             return Err(LuError::Singular {
                 col: meta[1] as usize,

@@ -114,7 +114,9 @@ pub fn pdpotrf(ctx: &mut RankCtx, grid: &ProcessGrid, a: &mut DistMatrix) -> Res
             } else {
                 Vec::new()
             };
-            let all = ctx.allgather_f64(grid.all(), &my_slice);
+            // Combined size is communicator-uniform (every rank can compute
+            // it), so the allgather may switch algorithms by payload size.
+            let all = ctx.allgather_sized_f64(grid.all(), &my_slice, (n - rest) * kb);
             // Assemble L21 by global row: chunk from grid position
             // (r, pcol_k) holds grid-row r's rows ≥ rest in local order.
             let mut l21_by_global = vec![0.0; (n - rest) * kb];
