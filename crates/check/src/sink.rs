@@ -12,9 +12,13 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// How long the whole machine must sit blocked with no state change before
-/// the probe declares a deadlock. Must comfortably exceed the runtime's
-/// 25 ms mailbox poll so an in-flight message (sent, not yet polled) can
-/// never look like a deadlock.
+/// the timed probe declares a deadlock. Only the thread-per-rank engine
+/// needs this: its blocked waiters poll [`CheckSink::probe_deadlock`] on a
+/// timer, so the grace must comfortably exceed the poll interval for an
+/// in-flight message (sent, not yet polled) to never look like a deadlock.
+/// The event-driven engine instead calls
+/// [`CheckSink::probe_deadlock_quiescent`] at the exact moment its
+/// scheduler proves no task can ever run again — no timer, no grace.
 pub const DEADLOCK_GRACE: Duration = Duration::from_millis(200);
 
 /// Which collective a rank entered (the lockstep signature's first field).
@@ -311,6 +315,43 @@ impl Shared {
         st.deadlock_msg = Some(msg.clone());
         Some(msg)
     }
+
+    /// Grace-free probe for the event engine's quiescence signal. The
+    /// scheduler has already proved every task is blocked and no wake is
+    /// in flight, so there is no epoch to re-check and no message to wait
+    /// out: declare immediately if every unfinished rank holds a wait
+    /// record. Latches and records DL001 exactly like the timed probe.
+    fn probe_quiescent(&self) -> Option<String> {
+        let mut st = self.state.lock();
+        if st.deadlock_msg.is_some() {
+            return None; // already declared; the poison path reports it
+        }
+        if st.waits.is_empty() {
+            return None;
+        }
+        let mut blocked = Vec::new();
+        for r in 0..st.waits.len() {
+            if st.finished[r] {
+                continue;
+            }
+            if matches!(st.waits[r], Wait::Running) {
+                return None;
+            }
+            blocked.push(r);
+        }
+        if blocked.is_empty() {
+            return None;
+        }
+        let msg = st.describe_deadlock(&blocked);
+        let t = blocked
+            .iter()
+            .map(|&r| st.last_clock[r])
+            .fold(0.0f64, f64::max);
+        st.violations
+            .push(Violation::new(Rule::Deadlock, blocked, t, msg.clone()));
+        st.deadlock_msg = Some(msg.clone());
+        Some(msg)
+    }
 }
 
 /// Machine-wide checking handle, mirroring `greenla_trace::TraceSink`:
@@ -367,6 +408,15 @@ impl CheckSink {
     /// poll loops.
     pub fn probe_deadlock(&self) -> Option<String> {
         self.shared.as_ref().and_then(|sh| sh.probe())
+    }
+
+    /// Grace-free variant for the event-driven scheduler: called once,
+    /// at the moment the engine observes quiescence (every task blocked,
+    /// no wake in flight), instead of on a timer. See
+    /// [`DEADLOCK_GRACE`] for why the timed probe needs a grace period
+    /// and this one does not.
+    pub fn probe_deadlock_quiescent(&self) -> Option<String> {
+        self.shared.as_ref().and_then(|sh| sh.probe_quiescent())
     }
 
     /// The deadlock diagnostic, if one was declared this run.
@@ -760,6 +810,11 @@ impl RankChecker {
         self.shared.as_ref().and_then(|sh| sh.probe())
     }
 
+    /// See [`CheckSink::probe_deadlock_quiescent`].
+    pub fn probe_deadlock_quiescent(&self) -> Option<String> {
+        self.shared.as_ref().and_then(|sh| sh.probe_quiescent())
+    }
+
     /// See [`CheckSink::abort_message`].
     pub fn abort_message(&self) -> String {
         let report = self
@@ -977,6 +1032,29 @@ mod tests {
             "{}",
             s.abort_message()
         );
+    }
+
+    #[test]
+    fn quiescent_probe_declares_without_grace() {
+        let s = sink(2);
+        let mut c0 = s.checker(0, 0);
+        let mut c1 = s.checker(1, 0);
+        c0.block_recv(1, 0, 7, 0.0);
+        assert!(
+            s.probe_deadlock_quiescent().is_none(),
+            "rank 1 is still running"
+        );
+        c1.block_recv(0, 0, 9, 0.0);
+        let msg = s
+            .probe_deadlock_quiescent()
+            .expect("quiescence needs no grace period");
+        assert!(msg.contains("cycle: 0 -> 1 -> 0"), "{msg}");
+        let v = s.violations();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::Deadlock);
+        // Declared once; both probes stay quiet afterwards.
+        assert!(s.probe_deadlock_quiescent().is_none());
+        assert!(s.probe_deadlock().is_none());
     }
 
     #[test]

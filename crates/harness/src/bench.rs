@@ -235,6 +235,7 @@ pub fn campaign_suite(quick: bool) -> BenchSuite {
                 seed: 42,
                 check: false,
                 faults: None,
+                scheduler: Default::default(),
             };
             let mut virtual_s = 0.0;
             let wall = median_wall(reps, || {
@@ -326,6 +327,83 @@ pub fn coll_suite(quick: bool) -> BenchSuite {
     }
     BenchSuite {
         suite: "collectives".into(),
+        entries,
+    }
+}
+
+/// The pinned scheduler suite: wall-clock of the rank engines themselves,
+/// with no solver in the way. `spinup` measures launching P ranks that do
+/// nothing but one barrier and exiting; `barrier_storm` drives 20
+/// back-to-back barriers, the wake-heaviest pattern the registry supports
+/// (every barrier blocks and wakes all P ranks). The event engine is gated
+/// at 1k and 10k ranks; a thread-engine entry at 1k keeps the fiber-vs-
+/// thread spin-up ratio visible in every artifact — 10k OS threads is the
+/// configuration the M:N engine exists to avoid, so it has no entry.
+/// Worker count is pinned (not `available_parallelism`) so runner shape
+/// can't move the numbers. Virtual seconds ride along as the determinism
+/// canary, exactly like the campaign suite.
+pub fn sched_suite(quick: bool) -> BenchSuite {
+    use greenla_cluster::placement::Placement;
+    use greenla_cluster::spec::ClusterSpec;
+    use greenla_cluster::PowerModel;
+    use greenla_mpi::{Machine, SchedulerKind};
+
+    let reps = if quick { 3 } else { 5 };
+    let machine = |ranks: usize, kind: SchedulerKind| {
+        let spec = ClusterSpec::test_cluster(ranks.div_ceil(8), 4);
+        let placement = Placement::layout(&spec.node, ranks, LoadLayout::FullLoad).unwrap();
+        let mut m = Machine::new(spec, placement, PowerModel::deterministic(), 17)
+            .unwrap()
+            .with_scheduler(kind);
+        if kind == SchedulerKind::EventDriven {
+            m.set_sched_workers(2);
+        }
+        m
+    };
+    let mut entries = Vec::new();
+    let mut push = |id: String,
+                    p: usize,
+                    kind: SchedulerKind,
+                    body: &(dyn Fn(&mut greenla_mpi::RankCtx) + Sync)| {
+        let mut virtual_s = 0.0;
+        let wall = median_wall(reps, || {
+            virtual_s = machine(p, kind).run(body).makespan;
+        });
+        entries.push(BenchEntry {
+            id,
+            reps,
+            median_wall_s: wall,
+            gflops: None,
+            virtual_s: Some(virtual_s),
+        });
+    };
+    let spinup = |ctx: &mut greenla_mpi::RankCtx| {
+        let world = ctx.world();
+        ctx.barrier(&world);
+    };
+    let storm = |ctx: &mut greenla_mpi::RankCtx| {
+        let world = ctx.world();
+        for _ in 0..20 {
+            ctx.barrier(&world);
+        }
+    };
+    let mut cases: Vec<(usize, SchedulerKind, &str)> = vec![
+        (1_000, SchedulerKind::ThreadPerRank, "thread"),
+        (1_000, SchedulerKind::EventDriven, "event"),
+        (10_000, SchedulerKind::EventDriven, "event"),
+    ];
+    // Fibers only exist on x86_64; elsewhere only the thread entries run
+    // (the gate reports the event entries as Missing, which is accurate).
+    if !cfg!(target_arch = "x86_64") {
+        cases.retain(|&(_, kind, _)| kind == SchedulerKind::ThreadPerRank);
+    }
+    for &(p, kind, tag) in &cases {
+        let pk = p / 1_000;
+        push(format!("spinup_{tag}_p{pk}k"), p, kind, &spinup);
+        push(format!("barrier_storm_{tag}_p{pk}k"), p, kind, &storm);
+    }
+    BenchSuite {
+        suite: "sched".into(),
         entries,
     }
 }

@@ -1,7 +1,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--exp all|table1|fig3|fig4|fig5|fig6|fig7|summary|overhead|powercap|trace]
+//! repro [--exp all|table1|fig3|fig4|fig5|fig6|fig7|summary|overhead|powercap|trace|scale]
 //!       [--tier functional|model|both]   (default: both)
 //!       [--reps N]                       (default: 3)
 //!       [--smoke]                        (tiny grid for CI)
@@ -14,7 +14,21 @@
 //!                                         plan into every campaign run and
 //!                                         report injected vs. observed vs.
 //!                                         recovered faults)
+//!       [--scheduler thread|event]       (rank engine for every simulated
+//!                                         run; virtual results are engine-
+//!                                         invariant, but `event` runs ranks
+//!                                         as fibers so P is no longer
+//!                                         bounded by OS thread limits)
+//!       [--ranks P1,P2,...]              (override the campaign's rank
+//!                                         counts; with --scheduler event,
+//!                                         counts way past the old ~1296
+//!                                         practical ceiling are fine)
 //! ```
+//!
+//! `--exp scale` is the large-P smoke: it skips the solver campaign and
+//! drives one barrier + broadcast + allreduce workout at the largest
+//! `--ranks` value (default 10000) on the event engine, writing a
+//! `scale_smoke.json` artifact with wall/virtual timings.
 //!
 //! Functional-tier figures come from real monitored solves on the scaled
 //! simulated cluster; model-tier figures evaluate the calibrated analytic
@@ -38,9 +52,12 @@ struct Args {
     trace_out: Option<PathBuf>,
     check: bool,
     faults: Option<PathBuf>,
+    scheduler: Option<greenla_mpi::SchedulerKind>,
+    ranks: Option<Vec<usize>>,
     bench_out: Option<PathBuf>,
     bench_campaign: Option<PathBuf>,
     bench_coll: Option<PathBuf>,
+    bench_sched: Option<PathBuf>,
     bench_baseline: Option<PathBuf>,
     bench_quick: bool,
 }
@@ -55,9 +72,12 @@ fn parse_args() -> Args {
         trace_out: None,
         check: false,
         faults: None,
+        scheduler: None,
+        ranks: None,
         bench_out: None,
         bench_campaign: None,
         bench_coll: None,
+        bench_sched: None,
         bench_baseline: None,
         bench_quick: false,
     };
@@ -78,6 +98,27 @@ fn parse_args() -> Args {
             "--faults" => {
                 args.faults = Some(PathBuf::from(it.next().expect("--faults needs a value")))
             }
+            "--scheduler" => {
+                let v = it.next().expect("--scheduler needs a value");
+                args.scheduler = Some(greenla_mpi::SchedulerKind::parse(&v).unwrap_or_else(|| {
+                    eprintln!("--scheduler wants thread|event, got {v:?}");
+                    std::process::exit(2);
+                }));
+            }
+            "--ranks" => {
+                let v = it.next().expect("--ranks needs a value");
+                let parsed: Vec<usize> = v
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse().unwrap_or_else(|e| {
+                            eprintln!("--ranks wants comma-separated counts, got {v:?}: {e}");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+                assert!(!parsed.is_empty(), "--ranks needs at least one count");
+                args.ranks = Some(parsed);
+            }
             "--out" => args.out = PathBuf::from(it.next().expect("--out needs a value")),
             "--trace-out" => {
                 args.trace_out = Some(PathBuf::from(it.next().expect("--trace-out needs a value")))
@@ -95,6 +136,11 @@ fn parse_args() -> Args {
                     it.next().expect("--bench-coll needs a value"),
                 ))
             }
+            "--bench-sched" => {
+                args.bench_sched = Some(PathBuf::from(
+                    it.next().expect("--bench-sched needs a value"),
+                ))
+            }
             "--bench-baseline" => {
                 args.bench_baseline = Some(PathBuf::from(
                     it.next().expect("--bench-baseline needs a value"),
@@ -102,7 +148,7 @@ fn parse_args() -> Args {
             }
             "--bench-quick" => args.bench_quick = true,
             "--help" | "-h" => {
-                println!("usage: repro [--exp all|table1|fig3..fig7|summary|overhead|powercap|trace] [--tier functional|model|both] [--reps N] [--smoke] [--out DIR] [--trace-out PATH] [--check] [--faults PLAN.json] [--bench-out PATH] [--bench-campaign PATH] [--bench-coll PATH] [--bench-baseline PATH] [--bench-quick]");
+                println!("usage: repro [--exp all|table1|fig3..fig7|summary|overhead|powercap|trace|scale] [--tier functional|model|both] [--reps N] [--smoke] [--out DIR] [--trace-out PATH] [--check] [--faults PLAN.json] [--scheduler thread|event] [--ranks P1,P2,...] [--bench-out PATH] [--bench-campaign PATH] [--bench-coll PATH] [--bench-sched PATH] [--bench-baseline PATH] [--bench-quick]");
                 std::process::exit(0);
             }
             other => {
@@ -134,9 +180,12 @@ fn main() {
     if args.bench_out.is_some()
         || args.bench_campaign.is_some()
         || args.bench_coll.is_some()
+        || args.bench_sched.is_some()
         || args.bench_baseline.is_some()
     {
-        use greenla_harness::bench::{campaign_suite, coll_suite, kernel_suite, BenchReport};
+        use greenla_harness::bench::{
+            campaign_suite, coll_suite, kernel_suite, sched_suite, BenchReport,
+        };
         let write = |path: &PathBuf, report: &BenchReport| {
             if let Some(dir) = path.parent() {
                 if !dir.as_os_str().is_empty() {
@@ -173,17 +222,89 @@ fn main() {
             }
             write(path, &report);
         }
+        if let Some(path) = &args.bench_sched {
+            eprintln!("running scheduler bench suite{quick}");
+            let report = BenchReport::new(vec![sched_suite(args.bench_quick)]);
+            if let Some(sp) = report.speedup("sched", "spinup_event_p1k", "spinup_thread_p1k") {
+                eprintln!("1k-rank spin-up, fibers vs threads: {sp:.2}x");
+            }
+            write(path, &report);
+        }
         // All suites in one file — the shape `bench_gate --baseline` expects.
         if let Some(path) = &args.bench_baseline {
-            eprintln!("running kernel + campaign + collectives suites for a fresh baseline{quick}");
+            eprintln!(
+                "running kernel + campaign + collectives + sched suites for a fresh baseline{quick}"
+            );
             let report = BenchReport::new(vec![
                 kernel_suite(args.bench_quick),
                 campaign_suite(args.bench_quick),
                 coll_suite(args.bench_quick),
+                sched_suite(args.bench_quick),
             ]);
             write(path, &report);
         }
         eprintln!("bench done in {:.1}s", t0.elapsed().as_secs_f64());
+        return;
+    }
+
+    // The large-P smoke: no solver, no campaign — prove the event engine
+    // spins up, synchronises and tears down five-digit rank counts inside
+    // a CI step timeout, and leave a machine-readable artifact behind.
+    if args.exp == "scale" {
+        use greenla_cluster::placement::{LoadLayout, Placement};
+        use greenla_cluster::spec::ClusterSpec;
+        use greenla_cluster::PowerModel;
+        use greenla_mpi::{Machine, SchedulerKind};
+
+        let ranks = args
+            .ranks
+            .as_ref()
+            .and_then(|r| r.iter().copied().max())
+            .unwrap_or(10_000);
+        let scheduler = args.scheduler.unwrap_or(SchedulerKind::EventDriven);
+        eprintln!("scale smoke: {ranks} ranks on the {scheduler} engine");
+        let spec = ClusterSpec::test_cluster(ranks.div_ceil(8), 4);
+        let placement = Placement::layout(&spec.node, ranks, LoadLayout::FullLoad)
+            .expect("placement for scale smoke");
+        let machine = Machine::new(spec, placement, PowerModel::deterministic(), 42)
+            .expect("machine for scale smoke")
+            .with_scheduler(scheduler);
+        let wall = Instant::now();
+        let out = machine.run(|ctx| {
+            let world = ctx.world();
+            ctx.barrier(&world);
+            let data = (ctx.rank() == 0).then(|| vec![1.0f64; 256]);
+            ctx.bcast_shared_f64(&world, 0, data);
+            let sum = ctx.allreduce_sum_f64(&world, &[1.0])[0];
+            ctx.barrier(&world);
+            sum
+        });
+        let wall_s = wall.elapsed().as_secs_f64();
+        for (rank, &sum) in out.results.iter().enumerate() {
+            assert_eq!(sum, ranks as f64, "rank {rank} disagreed on the allreduce");
+        }
+        #[derive(serde::Serialize)]
+        struct ScaleSmoke {
+            ranks: usize,
+            scheduler: String,
+            wall_s: f64,
+            virtual_makespan_s: f64,
+            msgs: u64,
+            volume_elems: u64,
+        }
+        let artifact = ScaleSmoke {
+            ranks,
+            scheduler: scheduler.to_string(),
+            wall_s,
+            virtual_makespan_s: out.makespan,
+            msgs: out.traffic.msgs,
+            volume_elems: out.traffic.volume_elems(),
+        };
+        write_json(&args.out, "scale_smoke.json", &artifact).expect("write scale smoke");
+        eprintln!(
+            "scale smoke ok: {ranks} ranks, wall {wall_s:.2} s, virtual {:.6} s",
+            out.makespan
+        );
         return;
     }
 
@@ -213,8 +334,14 @@ fn main() {
         grid.reps = args.reps;
         grid.check = args.check;
         grid.faults = fault_plan.clone();
+        if let Some(kind) = args.scheduler {
+            grid.scheduler = kind;
+        }
+        if let Some(ranks) = &args.ranks {
+            grid.ranks = ranks.clone();
+        }
         eprintln!(
-            "running functional campaign: dims {:?} × ranks {:?} × 3 layouts × 2 solvers × {} reps{}",
+            "running functional campaign: dims {:?} × ranks {:?} × 3 layouts × 2 solvers × {} reps{}{}",
             grid.dims,
             grid.ranks,
             grid.reps,
@@ -223,6 +350,10 @@ fn main() {
                 (true, false) => " [checked]",
                 (false, true) => " [faulted]",
                 (false, false) => "",
+            },
+            match grid.scheduler {
+                greenla_mpi::SchedulerKind::ThreadPerRank => "",
+                greenla_mpi::SchedulerKind::EventDriven => " [event engine]",
             }
         );
         let ds = Dataset::campaign(&grid, |msg| {

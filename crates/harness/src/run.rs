@@ -12,7 +12,9 @@ use greenla_linalg::generate::{LinearSystem, SystemKind};
 use greenla_monitor::monitoring::MonitorConfig;
 use greenla_monitor::protocol::monitored_run;
 use greenla_monitor::report::{JobSummary, NodeReport};
-use greenla_mpi::{CheckSink, FaultPlan, FaultReport, FaultSink, Machine, Violation};
+use greenla_mpi::{
+    CheckSink, FaultPlan, FaultReport, FaultSink, Machine, SchedulerKind, Violation,
+};
 use greenla_rapl::RaplSim;
 use greenla_scalapack::pdgesv::pdgesv;
 use serde::{Deserialize, Serialize};
@@ -35,6 +37,12 @@ pub struct RunConfig {
     /// for every pre-existing dataset) leaves all fault hooks disabled.
     #[serde(default = "Default::default")]
     pub faults: Option<FaultPlan>,
+    /// Which rank-scheduling engine executes the run. The engine never
+    /// changes measured (virtual-time) results — see the
+    /// scheduler-invariance contract in `greenla_mpi::sched` — so older
+    /// datasets deserialize to the thread-per-rank default losslessly.
+    #[serde(default = "Default::default")]
+    pub scheduler: SchedulerKind,
 }
 
 /// Serde default for the violations carried by older datasets.
@@ -81,6 +89,7 @@ pub fn run_once(cfg: &RunConfig) -> Measurement {
     };
     let power = PowerModel::scaled_for(&node);
     let mut machine = Machine::new(spec, placement, power, cfg.seed).expect("valid machine");
+    machine.set_scheduler(cfg.scheduler);
     if cfg.check {
         machine.set_check(CheckSink::enabled());
     }
@@ -303,6 +312,7 @@ impl Dataset {
                         seed: grid.base_seed + rep as u64,
                         check: grid.check,
                         faults: grid.faults.clone(),
+                        scheduler: grid.scheduler,
                     })
                 })
                 .collect();

@@ -48,6 +48,7 @@ fn chaos_cfg(solver: SolverChoice, plan: FaultPlan) -> RunConfig {
         seed: 77,
         check: true,
         faults: Some(plan),
+        scheduler: Default::default(),
     }
 }
 

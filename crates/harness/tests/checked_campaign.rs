@@ -46,6 +46,7 @@ fn checking_does_not_perturb_measurements() {
         seed: 5,
         check,
         faults: None,
+        scheduler: Default::default(),
     };
     let checked = run_once(&cfg(true));
     let plain = run_once(&cfg(false));

@@ -1,7 +1,10 @@
 //! # greenla-mpi
 //!
-//! A simulated MPI runtime with **virtual time**. Each MPI rank is an OS
-//! thread pinned (logically) to one core of the simulated cluster; every
+//! A simulated MPI runtime with **virtual time**. Each MPI rank is either
+//! an OS thread (the default) or a green task multiplexed onto a small
+//! worker pool (see [`sched::SchedulerKind`] — the event-driven engine
+//! makes 10k–100k-rank worlds tractable); either way the rank is pinned
+//! (logically) to one core of the simulated cluster, and every
 //! rank carries its own virtual clock which advances when the rank computes
 //! (`compute`), sends or receives messages, or synchronises in collectives.
 //! Message timing follows a LogGP-style α + β·size model with distinct
@@ -42,7 +45,9 @@ pub mod context;
 pub mod envelope;
 pub mod error;
 pub mod machine;
+pub(crate) mod mailbox;
 pub mod registry;
+pub mod sched;
 pub mod traffic;
 
 pub use comm::Comm;
@@ -56,4 +61,5 @@ pub use greenla_faults::{
 };
 pub use greenla_trace::{EventKind, TraceEvent, TraceSink};
 pub use machine::{Machine, RunOutput};
+pub use sched::SchedulerKind;
 pub use traffic::{Traffic, TrafficSnapshot};

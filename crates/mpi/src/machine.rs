@@ -1,11 +1,15 @@
-//! The machine: spawns one thread per rank and runs a program.
+//! The machine: runs a program with one rank per placement slot, under
+//! either scheduling engine (thread-per-rank or event-driven M:N — see
+//! [`crate::sched`]).
 
 use crate::context::RankCtx;
 use crate::envelope::Envelope;
 use crate::error::MachineError;
+use crate::mailbox::{EventMailboxes, MailboxRx, MailboxTx};
 use crate::registry::Registry;
+use crate::sched::{Engine, SchedulerKind};
 use crate::traffic::{Traffic, TrafficSnapshot};
-use crossbeam_channel::{unbounded, Receiver};
+use crossbeam_channel::unbounded;
 use greenla_check::CheckSink;
 use greenla_cluster::ledger::Ledger;
 use greenla_cluster::placement::Placement;
@@ -28,6 +32,31 @@ pub struct Machine {
     trace: TraceSink,
     check: CheckSink,
     faults: FaultSink,
+    scheduler: SchedulerKind,
+    sched_workers: Option<usize>,
+}
+
+/// Event-engine worker-pool size when the machine doesn't pin one:
+/// the host's parallelism, clamped to a small pool (the workers mostly
+/// shuffle fibers, and past a handful they just contend on the queues).
+fn default_sched_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(2, 8)
+}
+
+/// Per-fiber stack size for the event engine. Rank closures in this
+/// codebase are shallow (solver frames plus the runtime), so the default
+/// 512 KiB is generous; pages are only committed on touch, so 10k ranks
+/// cost virtual address space, not resident memory. Override with the
+/// `GREENLA_STACK_KB` environment variable (floor 64 KiB).
+fn sched_stack_bytes() -> usize {
+    let kb = std::env::var("GREENLA_STACK_KB")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(512);
+    kb.max(64) * 1024
 }
 
 /// What a completed run produced.
@@ -71,7 +100,43 @@ impl Machine {
             trace: TraceSink::disabled(),
             check: CheckSink::disabled(),
             faults: FaultSink::disabled(),
+            scheduler: SchedulerKind::default(),
+            sched_workers: None,
         })
+    }
+
+    /// Select the rank-scheduling engine (see [`SchedulerKind`]). The
+    /// engine changes only wall-clock execution; virtual-time outcomes
+    /// are bit-identical by the scheduler-invariance contract
+    /// ([`crate::sched`] module docs).
+    pub fn set_scheduler(&mut self, kind: SchedulerKind) {
+        self.scheduler = kind;
+    }
+
+    /// Builder-style [`Machine::set_scheduler`].
+    pub fn with_scheduler(mut self, kind: SchedulerKind) -> Self {
+        self.scheduler = kind;
+        self
+    }
+
+    /// The selected scheduling engine.
+    pub fn scheduler(&self) -> SchedulerKind {
+        self.scheduler
+    }
+
+    /// Pin the event engine's worker-pool size instead of deriving it
+    /// from the host's parallelism. Benchmarks pin this so wall-clock
+    /// numbers are comparable across machines; virtual-time results
+    /// never depend on it. Ignored by the thread-per-rank engine.
+    pub fn set_sched_workers(&mut self, workers: usize) {
+        assert!(workers >= 1, "need at least one worker");
+        self.sched_workers = Some(workers);
+    }
+
+    /// Builder-style [`Machine::set_sched_workers`].
+    pub fn with_sched_workers(mut self, workers: usize) -> Self {
+        self.set_sched_workers(workers);
+        self
     }
 
     /// Attach an event-trace sink. Tracing only observes the virtual
@@ -156,7 +221,14 @@ impl Machine {
         self.seed
     }
 
-    /// Run `f` on every rank (one OS thread per rank) and collect results.
+    /// Run `f` on every rank and collect results.
+    ///
+    /// How ranks execute depends on the selected [`SchedulerKind`]:
+    /// thread-per-rank spawns one OS thread per rank under
+    /// [`std::thread::scope`]; the event-driven engine multiplexes
+    /// rank fibers over a small worker pool. Either way this call blocks
+    /// until every rank has finished, and all virtual-time outputs are
+    /// bit-identical across engines.
     ///
     /// Panics if any rank panics (after poisoning the run so the remaining
     /// ranks unblock), propagating the first rank's panic payload.
@@ -191,89 +263,112 @@ impl Machine {
         self.check
             .begin_run((0..n).map(|r| self.placement.core_of(r).node).collect());
         let registry = Registry::new().with_check(self.check.clone());
-        let mut txs = Vec::with_capacity(n);
-        let mut rxs = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = unbounded::<Envelope>();
-            txs.push(tx);
-            rxs.push(rx);
-        }
-        let txs = Arc::new(txs);
-        registry.set_wakers(&txs);
         let world_members: Arc<Vec<usize>> = Arc::new((0..n).collect());
         let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let clocks: Vec<Mutex<f64>> = (0..n).map(|_| Mutex::new(0.0)).collect();
         let first_panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
         // Each finished rank parks its mailbox here so the message-hygiene
-        // audit can run after *every* thread has stopped sending — draining
-        // inside the rank thread would race a slower peer's late send.
-        type Mailbox = (Receiver<Envelope>, Vec<Envelope>);
+        // audit can run after *every* rank has stopped sending — draining
+        // inside the rank body would race a slower peer's late send.
+        type Mailbox = (MailboxRx, Vec<Envelope>);
         let mailboxes: Vec<Mutex<Option<Mailbox>>> = (0..n).map(|_| Mutex::new(None)).collect();
 
-        std::thread::scope(|scope| {
-            for (rank, rx) in rxs.into_iter().enumerate() {
-                let txs = Arc::clone(&txs);
-                let world_members = Arc::clone(&world_members);
-                let registry = &registry;
-                let results = &results;
-                let clocks = &clocks;
-                let first_panic = &first_panic;
-                let mailboxes = &mailboxes;
-                let f = &f;
-                let core = self.placement.core_of(rank);
-                let perf_mult = self.power.perf_multiplier(self.seed, core.node);
-                let tracer = self.trace.tracer(rank, core.node);
-                let checker = self.check.checker(rank, core.node);
-                let faults = self.faults.handle(rank, core.node);
-                scope.spawn(move || {
-                    let mut ctx = RankCtx {
-                        rank,
-                        nranks: n,
-                        core,
-                        clock: 0.0,
-                        spec: &self.spec,
-                        power: &self.power,
-                        seed: self.seed,
-                        perf_mult,
-                        ledger: &self.ledger,
-                        traffic: &self.traffic,
-                        registry,
-                        placement: &self.placement,
-                        rx,
-                        txs,
-                        pending: Vec::new(),
-                        seqs: Default::default(),
-                        world_members,
-                        tracer,
-                        checker,
-                        faults,
-                    };
-                    match catch_unwind(AssertUnwindSafe(|| f(&mut ctx))) {
-                        Ok(r) => {
-                            *results[rank].lock() = Some(r);
-                            *clocks[rank].lock() = ctx.clock;
-                            ctx.check_finished();
-                            let pending = std::mem::take(&mut ctx.pending);
-                            *mailboxes[rank].lock() = Some((ctx.rx, pending));
+        // One rank's whole life, engine-agnostic: build the context, run
+        // the closure, bank the outputs. Each engine decides only *where*
+        // this body executes (an OS thread vs a fiber) and which mailbox
+        // flavour it hands in.
+        let run_rank = |rank: usize, rx: MailboxRx, txs: MailboxTx| {
+            let core = self.placement.core_of(rank);
+            let perf_mult = self.power.perf_multiplier(self.seed, core.node);
+            let mut ctx = RankCtx {
+                rank,
+                nranks: n,
+                core,
+                clock: 0.0,
+                spec: &self.spec,
+                power: &self.power,
+                seed: self.seed,
+                perf_mult,
+                ledger: &self.ledger,
+                traffic: &self.traffic,
+                registry: &registry,
+                placement: &self.placement,
+                rx,
+                txs,
+                pending: Vec::new(),
+                seqs: Default::default(),
+                world_members: Arc::clone(&world_members),
+                tracer: self.trace.tracer(rank, core.node),
+                checker: self.check.checker(rank, core.node),
+                faults: self.faults.handle(rank, core.node),
+            };
+            match catch_unwind(AssertUnwindSafe(|| f(&mut ctx))) {
+                Ok(r) => {
+                    *results[rank].lock() = Some(r);
+                    *clocks[rank].lock() = ctx.clock;
+                    ctx.check_finished();
+                    let pending = std::mem::take(&mut ctx.pending);
+                    *mailboxes[rank].lock() = Some((ctx.rx, pending));
+                }
+                Err(payload) => {
+                    // Record the payload BEFORE poisoning: cascade
+                    // panics ("a peer rank failed") only start once
+                    // the registry is poisoned, so this order
+                    // guarantees the run aborts with the root
+                    // cause's diagnostic, not a casualty's.
+                    {
+                        let mut slot = first_panic.lock();
+                        if slot.is_none() {
+                            *slot = Some(payload);
                         }
-                        Err(payload) => {
-                            // Record the payload BEFORE poisoning: cascade
-                            // panics ("a peer rank failed") only start once
-                            // the registry is poisoned, so this order
-                            // guarantees the run aborts with the root
-                            // cause's diagnostic, not a casualty's.
-                            {
-                                let mut slot = first_panic.lock();
-                                if slot.is_none() {
-                                    *slot = Some(payload);
-                                }
-                            }
-                            registry.poison();
-                        }
+                    }
+                    registry.poison();
+                }
+            }
+        };
+
+        match self.scheduler {
+            SchedulerKind::ThreadPerRank => {
+                let mut txs = Vec::with_capacity(n);
+                let mut rxs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let (tx, rx) = unbounded::<Envelope>();
+                    txs.push(tx);
+                    rxs.push(rx);
+                }
+                registry.set_wakers(&txs);
+                let txs = Arc::new(txs);
+                std::thread::scope(|scope| {
+                    for (rank, rx) in rxs.into_iter().enumerate() {
+                        let txs = Arc::clone(&txs);
+                        let run_rank = &run_rank;
+                        scope.spawn(move || {
+                            run_rank(rank, MailboxRx::Thread(rx), MailboxTx::Thread(txs));
+                        });
                     }
                 });
             }
-        });
+            SchedulerKind::EventDriven => {
+                let workers = self.sched_workers.unwrap_or_else(default_sched_workers);
+                let engine = Arc::new(Engine::new(n, workers, sched_stack_bytes()));
+                let shared = Arc::new(EventMailboxes::new(n, Arc::clone(&engine)));
+                registry.set_event(Arc::clone(&shared));
+                let run_rank = &run_rank;
+                let bodies: Vec<Box<dyn FnOnce() + Send + '_>> = (0..n)
+                    .map(|rank| {
+                        let shared = Arc::clone(&shared);
+                        Box::new(move || {
+                            let rx = MailboxRx::Event {
+                                rank,
+                                shared: Arc::clone(&shared),
+                            };
+                            run_rank(rank, rx, MailboxTx::Event(shared));
+                        }) as Box<dyn FnOnce() + Send + '_>
+                    })
+                    .collect();
+                engine.run(bodies);
+            }
+        }
 
         if let Some(payload) = first_panic.into_inner() {
             resume_unwind(payload);
@@ -301,7 +396,7 @@ impl Machine {
                         }
                     };
                     pending.iter().for_each(&mut audit);
-                    while let Ok(e) = rx.try_recv() {
+                    while let Some(e) = rx.try_recv() {
                         audit(&e);
                     }
                     if !leaked.is_empty() && self.check.is_enabled() {

@@ -13,6 +13,8 @@
 //! poisons it so blocked peers fail fast instead of deadlocking.
 
 use crate::envelope::Envelope;
+use crate::mailbox::EventMailboxes;
+use crate::sched::{self, WakeReason};
 use crossbeam_channel::Sender;
 use greenla_check::CheckSink;
 use parking_lot::{Condvar, Mutex};
@@ -62,6 +64,10 @@ struct BarrierState {
     cost: f64,
     release_t: Option<f64>,
     left: usize,
+    /// Event-engine task ids parked on this cell; the completing arrival
+    /// (or poison) wakes them. Thread-engine waiters use the condvar
+    /// instead and never register here.
+    waiters: Vec<usize>,
 }
 
 struct SplitState {
@@ -71,6 +77,8 @@ struct SplitState {
     cost: f64,
     outcome: Option<HashMap<usize, SplitOutcome>>,
     left: usize,
+    /// See [`BarrierState::waiters`].
+    waiters: Vec<usize>,
 }
 
 /// Shared rendezvous state for one machine run.
@@ -81,19 +89,36 @@ pub struct Registry {
     barrier_cv: Condvar,
     splits: Mutex<HashMap<(u64, u64), SplitState>>,
     split_cv: Condvar,
-    /// Checking sink of the owning machine (disabled by default). When it is
-    /// enabled, waiters fall back to timed waits so they can run its
-    /// deadlock probe periodically; otherwise they park on the condvars and
-    /// consume no CPU until notified.
+    /// Checking sink of the owning machine (disabled by default). Under
+    /// the thread engine, enabling it makes waiters fall back to timed
+    /// waits so they can run its deadlock probe periodically; otherwise
+    /// they park on the condvars and consume no CPU until notified. The
+    /// event engine never polls — its quiescence detection is exact, and
+    /// it runs the grace-free probe the instant the machine stalls.
     check: CheckSink,
-    /// One sender per rank mailbox; [`Registry::poison`] posts an abort
-    /// control message to each so ranks parked in a blocking receive wake
-    /// up (condvar notification only reaches registry waiters).
-    wakers: Mutex<Vec<Sender<Envelope>>>,
+    /// How [`Registry::poison`] reaches ranks parked in a blocking
+    /// receive (condvar notification only reaches registry waiters), and
+    /// how collective completions wake event-engine waiters.
+    wakers: Mutex<Wakers>,
 }
 
-/// Poll period for *checked* runs only: how often blocked waiters wake to
-/// run the deadlock probe. Unchecked runs never poll.
+/// Engine-specific wake plumbing, set once by the machine before ranks
+/// start.
+enum Wakers {
+    None,
+    /// Thread engine: one sender per rank mailbox; poison posts an abort
+    /// control message to each.
+    Thread(Vec<Sender<Envelope>>),
+    /// Event engine: the shared inbox table (poison broadcasts control
+    /// messages and wakes every task) and, through it, the engine handle
+    /// used to wake collective waiters.
+    Event(Arc<EventMailboxes>),
+}
+
+/// Poll period for *checked thread-engine* runs only: how often blocked
+/// waiters wake to run the deadlock probe. Unchecked runs never poll, and
+/// the event engine detects deadlock exactly instead of polling (see
+/// `crate::sched`).
 const POLL: Duration = Duration::from_millis(25);
 
 impl Registry {
@@ -106,7 +131,7 @@ impl Registry {
             splits: Mutex::new(HashMap::new()),
             split_cv: Condvar::new(),
             check: CheckSink::disabled(),
-            wakers: Mutex::new(Vec::new()),
+            wakers: Mutex::new(Wakers::None),
         }
     }
 
@@ -119,7 +144,21 @@ impl Registry {
     /// Register the rank mailboxes poison should wake (called once by the
     /// machine before spawning rank threads).
     pub fn set_wakers(&self, txs: &[Sender<Envelope>]) {
-        *self.wakers.lock() = txs.to_vec();
+        *self.wakers.lock() = Wakers::Thread(txs.to_vec());
+    }
+
+    /// Event-engine counterpart of [`Registry::set_wakers`] (called once
+    /// by the machine before seeding tasks).
+    pub(crate) fn set_event(&self, shared: Arc<EventMailboxes>) {
+        *self.wakers.lock() = Wakers::Event(shared);
+    }
+
+    /// The shared event-engine state, when this run uses it.
+    fn event(&self) -> Option<Arc<EventMailboxes>> {
+        match &*self.wakers.lock() {
+            Wakers::Event(s) => Some(Arc::clone(s)),
+            _ => None,
+        }
     }
 
     /// Mark the run as failed; every blocked rank will panic out. Ranks
@@ -139,9 +178,15 @@ impl Registry {
             let _g = self.splits.lock();
             self.split_cv.notify_all();
         }
-        for tx in self.wakers.lock().iter() {
-            // A closed mailbox means that rank is already gone — fine.
-            let _ = tx.send(Envelope::control_abort());
+        match &*self.wakers.lock() {
+            Wakers::None => {}
+            Wakers::Thread(txs) => {
+                for tx in txs {
+                    // A closed mailbox means that rank is already gone — fine.
+                    let _ = tx.send(Envelope::control_abort());
+                }
+            }
+            Wakers::Event(shared) => shared.poison_broadcast(),
         }
     }
 
@@ -167,9 +212,24 @@ impl Registry {
         self.check.probe_deadlock()
     }
 
+    /// The event engine detected machine-wide quiescence while this rank
+    /// waited on something that can never complete. Report it (with the
+    /// grace-free probe's wait-for diagnostic when checking is on),
+    /// poison the run, and die. Must not hold a state-map guard.
+    pub(crate) fn report_quiescent_deadlock(&self) -> ! {
+        let msg = self.check.probe_deadlock_quiescent().unwrap_or_else(|| {
+            "deadlock: every rank is blocked and none can be woken; run with \
+             greenla-check attached for the wait-for cycle"
+                .to_string()
+        });
+        self.poison();
+        panic!("{msg}");
+    }
+
     /// Enter a barrier on `(comm_id, seq)` with `expected` participants at
     /// virtual time `t`; returns the common release time `max(t_i) + cost`.
     pub fn barrier(&self, comm_id: u64, seq: u64, expected: usize, t: f64, cost: f64) -> f64 {
+        let event = self.event();
         let key = (comm_id, seq);
         let mut map = self.barriers.lock();
         let st = map.entry(key).or_insert(BarrierState {
@@ -179,6 +239,7 @@ impl Registry {
             cost,
             release_t: None,
             left: 0,
+            waiters: Vec::new(),
         });
         assert_eq!(
             st.expected, expected,
@@ -190,6 +251,11 @@ impl Registry {
         if st.arrived == st.expected {
             st.release_t = Some(st.max_t + st.cost);
             self.barrier_cv.notify_all();
+            if let Some(ev) = &event {
+                for tid in st.waiters.drain(..) {
+                    ev.engine().wake(tid);
+                }
+            }
         }
         loop {
             let st = map.get_mut(&key).expect("barrier state vanished");
@@ -200,7 +266,21 @@ impl Registry {
                 }
                 return rt;
             }
-            if self.check.is_enabled() {
+            if let Some(ev) = &event {
+                // Event engine: register on the cell and yield the worker.
+                // Poison wakes every task (not just registered waiters),
+                // so the poison check after a wake cannot be missed.
+                let tid = sched::current_task().expect("event-engine rank outside a task");
+                st.waiters.push(tid);
+                drop(map);
+                self.check_poison();
+                match ev.engine().block_current() {
+                    WakeReason::Woken => {}
+                    WakeReason::Quiescent => self.report_quiescent_deadlock(),
+                }
+                self.check_poison();
+                map = self.barriers.lock();
+            } else if self.check.is_enabled() {
                 if let Some(msg) = self.poll_waiter() {
                     drop(map);
                     self.poison();
@@ -228,6 +308,7 @@ impl Registry {
             t,
             cost,
         } = entry;
+        let event = self.event();
         let map_key = (parent_id, seq);
         let mut map = self.splits.lock();
         let st = map.entry(map_key).or_insert(SplitState {
@@ -236,6 +317,7 @@ impl Registry {
             cost,
             outcome: None,
             left: 0,
+            waiters: Vec::new(),
         });
         assert_eq!(
             st.expected, expected,
@@ -278,6 +360,11 @@ impl Registry {
             }
             st.outcome = Some(outcome);
             self.split_cv.notify_all();
+            if let Some(ev) = &event {
+                for tid in st.waiters.drain(..) {
+                    ev.engine().wake(tid);
+                }
+            }
         }
         loop {
             let st = map.get_mut(&map_key).expect("split state vanished");
@@ -292,7 +379,20 @@ impl Registry {
                 }
                 return mine;
             }
-            if self.check.is_enabled() {
+            if let Some(ev) = &event {
+                // See the identical arm in `barrier` for the wake/poison
+                // ordering argument.
+                let tid = sched::current_task().expect("event-engine rank outside a task");
+                st.waiters.push(tid);
+                drop(map);
+                self.check_poison();
+                match ev.engine().block_current() {
+                    WakeReason::Woken => {}
+                    WakeReason::Quiescent => self.report_quiescent_deadlock(),
+                }
+                self.check_poison();
+                map = self.splits.lock();
+            } else if self.check.is_enabled() {
                 if let Some(msg) = self.poll_waiter() {
                     drop(map);
                     self.poison();

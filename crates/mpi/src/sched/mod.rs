@@ -1,0 +1,117 @@
+//! Rank scheduling engines.
+//!
+//! The machine can execute a simulated MPI program under two engines that
+//! are — by contract — indistinguishable in virtual time:
+//!
+//! * **Thread-per-rank** ([`SchedulerKind::ThreadPerRank`], the default):
+//!   every rank is an OS thread. Simple, debuggable with ordinary tools,
+//!   and each rank gets a full 8 MiB kernel-managed stack — but the OS
+//!   caps practical world sizes at a few thousand ranks.
+//! * **Event-driven M:N** ([`SchedulerKind::EventDriven`]): every rank is
+//!   a stackful fiber multiplexed onto a fixed worker pool. A rank
+//!   blocking in `recv`/`barrier`/a collective yields its worker instead
+//!   of parking a thread, and the paths that used to notify threads
+//!   (registry completions, poison/abort control envelopes,
+//!   fault-injected wakeups) become task wakes. This is what makes
+//!   10k–100k-rank simulations tractable — and it makes deadlock
+//!   detection *exact*: the engine knows the precise moment every task is
+//!   blocked (see [`engine::WakeReason::Quiescent`]), so checked runs
+//!   need no grace timer and unchecked runs abort instead of hanging.
+//!
+//! # The scheduler-invariance contract
+//!
+//! Virtual-time outcomes must be **bit-identical** across engines: traces,
+//! per-rank final clocks, violations, and fault reports. This holds by
+//! construction because every timing decision is a function of virtual
+//! clocks carried in envelopes and registry cells, never of wall-clock
+//! scheduling — e.g. multi-source receives charge in sorted
+//! `(arrival, src)` order regardless of delivery order, and fault delays
+//! shift virtual arrival times rather than sleeping. The
+//! `scheduler_invariance` harness test suite enforces the contract,
+//! including under active fault plans and checked runs.
+
+pub(crate) mod engine;
+pub(crate) mod fiber;
+
+pub(crate) use engine::current_task;
+pub use engine::{Engine, WakeReason};
+
+/// Which engine [`crate::Machine::run`] uses to execute ranks.
+///
+/// Selecting an engine changes *only* wall-clock execution: how many OS
+/// threads exist and how blocked ranks wait. Everything observable in
+/// virtual time is identical (see the module docs for the contract).
+///
+/// ```
+/// use greenla_cluster::placement::{LoadLayout, Placement};
+/// use greenla_cluster::spec::ClusterSpec;
+/// use greenla_cluster::PowerModel;
+/// use greenla_mpi::{Machine, SchedulerKind};
+///
+/// let spec = ClusterSpec::test_cluster(1, 4);
+/// let placement = Placement::layout(&spec.node, 8, LoadLayout::FullLoad).unwrap();
+/// let machine = Machine::new(spec, placement, PowerModel::deterministic(), 1)
+///     .unwrap()
+///     .with_scheduler(SchedulerKind::EventDriven);
+///
+/// let out = machine.run(|ctx| {
+///     let world = ctx.world();
+///     ctx.barrier(&world);
+///     ctx.allreduce_sum_f64(&world, &[1.0])[0]
+/// });
+/// assert!(out.results.iter().all(|&r| r == 8.0));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum SchedulerKind {
+    /// One OS thread per rank (the default). Checked runs poll the
+    /// deadlock probe on a 25 ms timer while blocked.
+    #[default]
+    ThreadPerRank,
+    /// Green-task M:N engine: fibers over a small worker pool, exact
+    /// event-driven deadlock detection, world sizes of 10k+ ranks.
+    /// Requires x86_64 (the fiber switch is hand-written assembly).
+    EventDriven,
+}
+
+impl SchedulerKind {
+    /// Parse a CLI-style name: `thread` | `event`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "thread" | "thread-per-rank" => Some(SchedulerKind::ThreadPerRank),
+            "event" | "event-driven" => Some(SchedulerKind::EventDriven),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SchedulerKind::ThreadPerRank => "thread",
+            SchedulerKind::EventDriven => "event",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_display() {
+        for kind in [SchedulerKind::ThreadPerRank, SchedulerKind::EventDriven] {
+            assert_eq!(SchedulerKind::parse(&kind.to_string()), Some(kind));
+        }
+        assert_eq!(SchedulerKind::parse("fifo"), None);
+    }
+
+    #[test]
+    fn serde_names_are_stable() {
+        // RunConfig serialises the scheduler; renaming variants would
+        // silently invalidate saved campaign configs.
+        let j = serde_json::to_string(&SchedulerKind::EventDriven).unwrap();
+        assert_eq!(j, "\"EventDriven\"");
+        let k: SchedulerKind = serde_json::from_str("\"ThreadPerRank\"").unwrap();
+        assert_eq!(k, SchedulerKind::ThreadPerRank);
+    }
+}
