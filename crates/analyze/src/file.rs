@@ -1,0 +1,328 @@
+//! Per-file analysis context: the token stream plus the derived facts
+//! every rule needs — which lines hold code, which tokens live inside
+//! `#[cfg(test)]` modules, where attributes span, and the parsed
+//! `// greenla-allow:` suppressions.
+
+use crate::lexer::{lex, Tok, TokKind};
+use std::collections::{BTreeMap, HashSet};
+
+/// The marker a suppression comment must carry:
+/// `// greenla-allow: GLxxx <reason>`.
+pub const ALLOW_MARKER: &str = "greenla-allow:";
+
+/// One parsed suppression comment.
+#[derive(Clone, Debug)]
+pub struct Suppression {
+    /// Line the comment sits on.
+    pub line: u32,
+    /// Rule code it names (`GL003`), possibly malformed.
+    pub code: String,
+    /// Free-text justification after the code (may be empty — GL000).
+    pub reason: String,
+    /// The code line this suppression covers: its own line for a trailing
+    /// comment, the next code line for a whole-line comment.
+    pub covers: u32,
+}
+
+/// Everything rules need to know about one source file.
+pub struct FileCtx {
+    /// Workspace-relative path with forward slashes.
+    pub rel_path: String,
+    pub toks: Vec<Tok>,
+    /// Lines containing at least one non-comment, non-attribute token.
+    pub code_lines: HashSet<u32>,
+    /// `attr_mask[i]` — token `i` is part of a `#[…]` / `#![…]` attribute.
+    pub attr_mask: Vec<bool>,
+    /// `test_mask[i]` — token `i` is inside a `#[cfg(test)] mod { … }`.
+    pub test_mask: Vec<bool>,
+    /// Parsed suppressions, in file order.
+    pub suppressions: Vec<Suppression>,
+    /// Comments grouped by starting line (for SAFETY lookups).
+    pub comments_by_line: BTreeMap<u32, Vec<(TokKind, String)>>,
+}
+
+impl FileCtx {
+    pub fn new(rel_path: &str, source: &str) -> Self {
+        let toks = lex(source);
+        let attr_mask = attr_mask(&toks);
+        let test_mask = test_mask(&toks, &attr_mask);
+        let mut code_lines = HashSet::new();
+        let mut comments_by_line: BTreeMap<u32, Vec<(TokKind, String)>> = BTreeMap::new();
+        for (i, t) in toks.iter().enumerate() {
+            if t.is_comment() {
+                comments_by_line
+                    .entry(t.line)
+                    .or_default()
+                    .push((t.kind, t.text.clone()));
+            } else if !attr_mask[i] {
+                code_lines.insert(t.line);
+            }
+        }
+        let suppressions = parse_suppressions(&toks, &code_lines);
+        FileCtx {
+            rel_path: rel_path.replace('\\', "/"),
+            toks,
+            code_lines,
+            attr_mask,
+            test_mask,
+            suppressions,
+            comments_by_line,
+        }
+    }
+
+    /// Index of the next non-comment token at or after `i`.
+    pub fn next_sig(&self, mut i: usize) -> Option<usize> {
+        while i < self.toks.len() {
+            if !self.toks[i].is_comment() {
+                return Some(i);
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Index of the previous non-comment token strictly before `i`.
+    pub fn prev_sig(&self, i: usize) -> Option<usize> {
+        (0..i).rev().find(|&j| !self.toks[j].is_comment())
+    }
+
+    /// Does the contiguous annotation run (comments, attributes, blank
+    /// lines) directly above `line` — or a comment on `line` itself —
+    /// contain `needle`? `doc_only` restricts the search to doc comments.
+    pub fn annotation_above_contains(&self, line: u32, needle: &str, doc_only: bool) -> bool {
+        let hit = |kinds: &[(TokKind, String)]| {
+            kinds
+                .iter()
+                .any(|(k, text)| (!doc_only || *k == TokKind::DocComment) && text.contains(needle))
+        };
+        if let Some(c) = self.comments_by_line.get(&line) {
+            if hit(c) {
+                return true;
+            }
+        }
+        let mut l = line.saturating_sub(1);
+        while l >= 1 {
+            if self.code_lines.contains(&l) {
+                return false;
+            }
+            if let Some(c) = self.comments_by_line.get(&l) {
+                if hit(c) {
+                    return true;
+                }
+            }
+            if l == 1 {
+                return false;
+            }
+            l -= 1;
+        }
+        false
+    }
+
+    /// The suppression covering `(code, line)`, if any.
+    pub fn suppression_for(&self, code: &str, line: u32) -> Option<&Suppression> {
+        self.suppressions
+            .iter()
+            .find(|s| s.code == code && s.covers == line)
+    }
+}
+
+/// Mark tokens belonging to `#[…]` / `#![…]` attributes.
+fn attr_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Punct && toks[i].text == "#" {
+            let mut j = i + 1;
+            if j < toks.len() && toks[j].text == "!" {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].text == "[" {
+                let mut depth = 0usize;
+                let start = i;
+                while j < toks.len() {
+                    match toks[j].text.as_str() {
+                        "[" => depth += 1,
+                        "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                for m in mask.iter_mut().take(j.min(toks.len() - 1) + 1).skip(start) {
+                    *m = true;
+                }
+                i = j + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Mark tokens inside `#[cfg(test)] mod … { … }` bodies (including
+/// `#[cfg(all(test, …))]`). Rules that only govern shipping code — the
+/// purity and diagnostics lints — skip masked tokens.
+fn test_mask(toks: &[Tok], attr_mask: &[bool]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        // Find an attribute opener `#[`.
+        let is_attr_start = toks[i].text == "#" && attr_mask[i] && (i == 0 || !attr_mask[i - 1]);
+        if !is_attr_start {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute's idents.
+        let mut j = i;
+        let mut has_cfg = false;
+        let mut has_test = false;
+        while j < toks.len() && attr_mask[j] {
+            if toks[j].kind == TokKind::Ident {
+                has_cfg |= toks[j].text == "cfg";
+                has_test |= toks[j].text == "test";
+            }
+            j += 1;
+        }
+        if !(has_cfg && has_test) {
+            i = j;
+            continue;
+        }
+        // Skip further attributes/comments, then expect `mod name {`.
+        let mut k = j;
+        while k < toks.len() && (toks[k].is_comment() || attr_mask[k]) {
+            k += 1;
+        }
+        if k < toks.len() && toks[k].kind == TokKind::Ident && toks[k].text == "mod" {
+            // mod <ident> {
+            let mut b = k + 1;
+            while b < toks.len() && toks[b].text != "{" && toks[b].text != ";" {
+                b += 1;
+            }
+            if b < toks.len() && toks[b].text == "{" {
+                let mut depth = 0usize;
+                let mut e = b;
+                while e < toks.len() {
+                    match toks[e].text.as_str() {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    e += 1;
+                }
+                for m in mask.iter_mut().take(e.min(toks.len() - 1) + 1).skip(b) {
+                    *m = true;
+                }
+                i = e + 1;
+                continue;
+            }
+        }
+        i = j;
+    }
+    mask
+}
+
+/// Parse `// greenla-allow: GLxxx <reason>` comments into [`Suppression`]s.
+fn parse_suppressions(toks: &[Tok], code_lines: &HashSet<u32>) -> Vec<Suppression> {
+    let max_line = toks.iter().map(|t| t.line).max().unwrap_or(0);
+    let mut out = Vec::new();
+    for t in toks {
+        if t.kind != TokKind::LineComment && t.kind != TokKind::BlockComment {
+            continue;
+        }
+        let Some(pos) = t.text.find(ALLOW_MARKER) else {
+            continue;
+        };
+        let rest = &t.text[pos + ALLOW_MARKER.len()..];
+        let mut words = rest.split_whitespace();
+        let code = words.next().unwrap_or("").to_string();
+        let reason = words.collect::<Vec<_>>().join(" ");
+        // Trailing comment covers its own line; whole-line comment covers
+        // the next code line.
+        let covers = if code_lines.contains(&t.line) {
+            t.line
+        } else {
+            let mut l = t.line + 1;
+            while l <= max_line && !code_lines.contains(&l) {
+                l += 1;
+            }
+            l
+        };
+        out.push(Suppression {
+            line: t.line,
+            code,
+            reason,
+            covers,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mask_covers_cfg_test_modules() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x(); }\n}\nfn c() {}\n";
+        let ctx = FileCtx::new("crates/x/src/lib.rs", src);
+        let masked: Vec<&str> = ctx
+            .toks
+            .iter()
+            .zip(&ctx.test_mask)
+            .filter(|(_, &m)| m)
+            .map(|(t, _)| t.text.as_str())
+            .collect();
+        assert!(masked.contains(&"b") && masked.contains(&"x"));
+        assert!(!masked.contains(&"a") && !masked.contains(&"c"));
+    }
+
+    #[test]
+    fn cfg_all_test_is_also_masked() {
+        let src = "#[cfg(all(test, target_arch = \"x86_64\"))]\nmod tests { fn b() {} }\n";
+        let ctx = FileCtx::new("crates/x/src/lib.rs", src);
+        assert!(ctx
+            .toks
+            .iter()
+            .zip(&ctx.test_mask)
+            .any(|(t, &m)| m && t.text == "b"));
+    }
+
+    #[test]
+    fn suppressions_cover_trailing_and_next_line() {
+        let src = "\
+fn f() { g(); } // greenla-allow: GL003 trailing case
+// greenla-allow: GL001 whole-line case
+fn h() {}
+";
+        let ctx = FileCtx::new("crates/x/src/lib.rs", src);
+        assert_eq!(ctx.suppressions.len(), 2);
+        assert_eq!(ctx.suppressions[0].covers, 1);
+        assert_eq!(ctx.suppressions[1].covers, 3);
+        assert!(ctx.suppression_for("GL003", 1).is_some());
+        assert!(ctx.suppression_for("GL001", 3).is_some());
+        assert!(ctx.suppression_for("GL001", 1).is_none());
+    }
+
+    #[test]
+    fn annotation_run_lookup_sees_stacked_comments_and_attrs() {
+        let src = "\
+// SAFETY: justified three lines up
+// and continued here
+#[inline]
+unsafe fn f() {}
+";
+        let ctx = FileCtx::new("crates/x/src/lib.rs", src);
+        assert!(ctx.annotation_above_contains(4, "SAFETY:", false));
+        assert!(!ctx.annotation_above_contains(4, "SAFETY:", true));
+    }
+}

@@ -1,0 +1,449 @@
+//! A hand-rolled Rust lexer, just deep enough for linting.
+//!
+//! The scanner understands everything that can *hide* tokens from a naive
+//! substring grep — nested block comments, raw strings (`r#"…"#`, as used
+//! by the fiber `global_asm!`), byte/char literals vs. lifetimes — and
+//! keeps comments in the stream so rules can look for `// SAFETY:`
+//! justifications and `// greenla-allow:` suppressions. It does **not**
+//! build an AST: every rule works on the flat token stream plus brace
+//! depth, which is the sweet spot between a grep (too blind) and a full
+//! parser (a new external dependency, which the vendored offline build
+//! forbids).
+
+/// What a token is. Keywords are ordinary [`TokKind::Ident`]s; rules match
+/// on text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `lock`, `fn`, …).
+    Ident,
+    /// Lifetime such as `'scope` (distinguished from char literals).
+    Lifetime,
+    /// A single punctuation character (`.`, `{`, `#`, one of `::`'s
+    /// colons, …). Rules match multi-char operators as sequences.
+    Punct,
+    /// String literal (plain, raw, byte, or byte-raw). `text` holds the
+    /// *contents* with escapes left verbatim, quotes stripped.
+    Str,
+    /// Character or byte literal, quotes included.
+    CharLit,
+    /// Numeric literal.
+    Num,
+    /// `// …` comment, text without the slashes.
+    LineComment,
+    /// `/* … */` comment (possibly nested), delimiters stripped.
+    BlockComment,
+    /// `///`, `//!`, `/** */`, `/*! */` documentation comment.
+    DocComment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokKind::LineComment | TokKind::BlockComment | TokKind::DocComment
+        )
+    }
+}
+
+struct Scanner<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Scanner<'a> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.src.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek(0);
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn take_while(&mut self, f: impl Fn(u8) -> bool) -> usize {
+        let start = self.pos;
+        while self.pos < self.src.len() && f(self.peek(0)) {
+            self.bump();
+        }
+        self.pos - start
+    }
+
+    fn slice(&self, from: usize) -> String {
+        String::from_utf8_lossy(&self.src[from..self.pos]).into_owned()
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_cont(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}
+
+/// Lex `src` into a token stream. The lexer never fails: unterminated
+/// literals run to end-of-file, and unknown bytes become [`TokKind::Punct`]
+/// tokens — a linter must keep going where a compiler would stop.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut s = Scanner {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut toks = Vec::new();
+    while s.pos < s.src.len() {
+        let line = s.line;
+        let c = s.peek(0);
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            s.bump();
+            continue;
+        }
+        // Comments.
+        if c == b'/' && s.peek(1) == b'/' {
+            let start = s.pos;
+            s.take_while(|c| c != b'\n');
+            let text = s.slice(start);
+            let kind = if text.starts_with("///") || text.starts_with("//!") {
+                TokKind::DocComment
+            } else {
+                TokKind::LineComment
+            };
+            let body = text.trim_start_matches('/').trim_start_matches('!');
+            toks.push(Tok {
+                kind,
+                text: body.to_string(),
+                line,
+            });
+            continue;
+        }
+        if c == b'/' && s.peek(1) == b'*' {
+            let start = s.pos;
+            let doc = s.peek(2) == b'*' || s.peek(2) == b'!';
+            s.bump();
+            s.bump();
+            let mut depth = 1usize;
+            while s.pos < s.src.len() && depth > 0 {
+                if s.peek(0) == b'/' && s.peek(1) == b'*' {
+                    depth += 1;
+                    s.bump();
+                    s.bump();
+                } else if s.peek(0) == b'*' && s.peek(1) == b'/' {
+                    depth -= 1;
+                    s.bump();
+                    s.bump();
+                } else {
+                    s.bump();
+                }
+            }
+            let text = s.slice(start);
+            let body = text
+                .trim_start_matches('/')
+                .trim_start_matches('*')
+                .trim_start_matches('!')
+                .trim_end_matches('/')
+                .trim_end_matches('*');
+            toks.push(Tok {
+                kind: if doc {
+                    TokKind::DocComment
+                } else {
+                    TokKind::BlockComment
+                },
+                text: body.to_string(),
+                line,
+            });
+            continue;
+        }
+        // Raw strings and byte strings: r"…", r#"…"#, br"…", b"…".
+        if (c == b'r' || c == b'b') && raw_or_byte_string(&mut s, &mut toks, line) {
+            continue;
+        }
+        // Identifiers and keywords.
+        if is_ident_start(c) {
+            let start = s.pos;
+            s.take_while(is_ident_cont);
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: s.slice(start),
+                line,
+            });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = s.pos;
+            s.take_while(|c| c.is_ascii_alphanumeric() || c == b'_');
+            // Accept a fractional part, but leave `0..5` ranges alone.
+            if s.peek(0) == b'.' && s.peek(1).is_ascii_digit() {
+                s.bump();
+                s.take_while(|c| c.is_ascii_alphanumeric() || c == b'_');
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                text: s.slice(start),
+                line,
+            });
+            continue;
+        }
+        // Plain string literal.
+        if c == b'"' {
+            s.bump();
+            let start = s.pos;
+            loop {
+                match s.peek(0) {
+                    0 => break,
+                    b'\\' => {
+                        s.bump();
+                        s.bump();
+                    }
+                    b'"' => break,
+                    _ => {
+                        s.bump();
+                    }
+                }
+            }
+            let text = s.slice(start);
+            s.bump(); // closing quote
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text,
+                line,
+            });
+            continue;
+        }
+        // Char literal vs. lifetime.
+        if c == b'\'' {
+            // Lifetime: 'ident not followed by a closing quote.
+            if is_ident_start(s.peek(1)) {
+                let mut j = 2;
+                while is_ident_cont(s.peek(j)) {
+                    j += 1;
+                }
+                if s.peek(j) != b'\'' {
+                    let start = s.pos;
+                    s.bump();
+                    s.take_while(is_ident_cont);
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: s.slice(start),
+                        line,
+                    });
+                    continue;
+                }
+            }
+            // Char literal: '<char or escape>'.
+            let start = s.pos;
+            s.bump();
+            if s.peek(0) == b'\\' {
+                s.bump();
+            }
+            s.bump();
+            if s.peek(0) == b'\'' {
+                s.bump();
+            }
+            toks.push(Tok {
+                kind: TokKind::CharLit,
+                text: s.slice(start),
+                line,
+            });
+            continue;
+        }
+        // Everything else: one punct char per token.
+        s.bump();
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            text: (c as char).to_string(),
+            line,
+        });
+    }
+    toks
+}
+
+/// Try to lex a raw/byte string starting at `r`/`b`; returns whether one
+/// was consumed. Handles `r"…"`, `r#"…"#` (any number of `#`s), `b"…"`,
+/// `br#"…"#`, and byte chars `b'…'`.
+fn raw_or_byte_string(s: &mut Scanner<'_>, toks: &mut Vec<Tok>, line: u32) -> bool {
+    let mut j = 1;
+    if s.peek(0) == b'b' && s.peek(1) == b'r' {
+        j = 2;
+    }
+    if s.peek(0) == b'b' && s.peek(1) == b'\'' {
+        // Byte char literal b'x'.
+        let start = s.pos;
+        s.bump();
+        s.bump();
+        if s.peek(0) == b'\\' {
+            s.bump();
+        }
+        s.bump();
+        if s.peek(0) == b'\'' {
+            s.bump();
+        }
+        toks.push(Tok {
+            kind: TokKind::CharLit,
+            text: s.slice(start),
+            line,
+        });
+        return true;
+    }
+    let raw = s.peek(0) == b'r' || (s.peek(0) == b'b' && s.peek(1) == b'r');
+    if raw {
+        // Count the `#`s after r/br; must then see a quote.
+        let mut hashes = 0;
+        while s.peek(j + hashes) == b'#' {
+            hashes += 1;
+        }
+        if s.peek(j + hashes) != b'"' {
+            return false;
+        }
+        for _ in 0..j + hashes + 1 {
+            s.bump();
+        }
+        let start = s.pos;
+        let closer: Vec<u8> = std::iter::once(b'"')
+            .chain(std::iter::repeat_n(b'#', hashes))
+            .collect();
+        loop {
+            if s.pos >= s.src.len() {
+                break;
+            }
+            if s.peek(0) == b'"' && (0..hashes).all(|k| s.peek(1 + k) == b'#') {
+                break;
+            }
+            s.bump();
+        }
+        let text = s.slice(start);
+        for _ in 0..closer.len() {
+            s.bump();
+        }
+        toks.push(Tok {
+            kind: TokKind::Str,
+            text,
+            line,
+        });
+        return true;
+    }
+    if s.peek(0) == b'b' && s.peek(1) == b'"' {
+        s.bump(); // b
+        s.bump(); // "
+        let start = s.pos;
+        loop {
+            match s.peek(0) {
+                0 => break,
+                b'\\' => {
+                    s.bump();
+                    s.bump();
+                }
+                b'"' => break,
+                _ => {
+                    s.bump();
+                }
+            }
+        }
+        let text = s.slice(start);
+        s.bump();
+        toks.push(Tok {
+            kind: TokKind::Str,
+            text,
+            line,
+        });
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_keywords_and_puncts() {
+        let toks = kinds("unsafe fn f() { x.lock(); }");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, ["unsafe", "fn", "f", "x", "lock"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'scope>(x: &'scope str) { let c = 'a'; }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lifetime && t == "'scope"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::CharLit && t == "'a'"));
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents_from_token_matching() {
+        // The global_asm block in fiber.rs must not leak `unsafe`-looking
+        // tokens (or banned idents) out of its raw string.
+        let toks = kinds("global_asm!(r#\" unsafe Instant::now \"#);");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Str).count(),
+            1,
+            "raw string lexed as one literal"
+        );
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unsafe"));
+    }
+
+    #[test]
+    fn nested_block_comments_and_doc_comments() {
+        let toks = kinds("/* a /* b */ c */ /// doc\n//! inner\n// plain");
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+        assert!(toks[0].1.contains("b"));
+        assert_eq!(toks[1].0, TokKind::DocComment);
+        assert_eq!(toks[2].0, TokKind::DocComment);
+        assert_eq!(toks[3].0, TokKind::LineComment);
+    }
+
+    #[test]
+    fn string_escapes_do_not_end_literals_early() {
+        let toks = kinds(r#"let s = "a \" b";"#);
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Str)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(strs, [r#"a \" b"#]);
+    }
+
+    #[test]
+    fn lines_are_tracked_across_multiline_tokens() {
+        let toks = lex("a\n/* x\ny */\nb");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2); // comment starts on line 2
+        assert_eq!(toks[2].line, 4); // b lands after the comment's newlines
+    }
+
+    #[test]
+    fn numeric_range_is_three_tokens() {
+        let toks = kinds("0..5");
+        assert_eq!(toks.len(), 4); // 0, '.', '.', 5
+        assert_eq!(toks[0].0, TokKind::Num);
+        assert_eq!(toks[3].0, TokKind::Num);
+    }
+}

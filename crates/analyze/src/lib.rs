@@ -1,0 +1,310 @@
+#![forbid(unsafe_code)]
+//! # greenla-analyze
+//!
+//! Workspace-aware static analysis for the greenla reproduction: the
+//! `greenla-lint` binary walks every crate's sources with a hand-rolled
+//! lexer (no external parser — the vendored offline build stays
+//! dependency-free) and enforces the repo-specific contracts that dynamic
+//! tests can only sample:
+//!
+//! * **GL001** — every `unsafe` block/fn/impl carries a `// SAFETY:`
+//!   justification (functions may use a `# Safety` rustdoc section).
+//! * **GL002** — no lock guard is live across a fiber yield / poison
+//!   point in `crates/mpi` (the M:N engine's signature deadlock class).
+//! * **GL003** — simulation crates never read wall clocks, OS sleeps, or
+//!   OS randomness: virtual-time purity is what makes runs bit-identical
+//!   across schedulers.
+//! * **GL004** — abort diagnostics in mpi/harness stay inside the stable
+//!   set the chaos battery asserts (`STABLE_DIAGNOSTICS`), in both
+//!   directions: no unstable abort strings, no dead set entries.
+//! * **GL005** — persisted config/schema structs only grow with
+//!   `#[serde(default)]`-compatible fields, so old datasets keep parsing.
+//!
+//! Findings are `file:line`-addressed; `// greenla-allow: GLxxx <reason>`
+//! on (or directly above) the offending line suppresses one finding and
+//! records the reason. See `ARCHITECTURE.md` §11 for the full rule
+//! rationale.
+//!
+//! ```
+//! use greenla_analyze::{file::FileCtx, rules::check_file};
+//! let src = "fn f() { let x = unsafe { *p }; }\n";
+//! let ctx = FileCtx::new("crates/mpi/src/demo.rs", src);
+//! let findings = check_file(&ctx, &[]);
+//! assert_eq!(findings.len(), 1);
+//! assert_eq!(findings[0].rule, "GL001");
+//! ```
+
+pub mod file;
+pub mod lexer;
+pub mod rules;
+
+use file::FileCtx;
+use lexer::TokKind;
+use rules::{Finding, SERDE_BASELINES};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Where the stable-diagnostic set lives; GL004 keeps it and the runtime
+/// sources in sync.
+pub const STABLE_DIAGNOSTICS_FILE: &str = "crates/harness/tests/chaos.rs";
+
+/// Directories never analyzed: external stand-ins, build output, and the
+/// lint fixtures (which contain violations *on purpose*).
+const SKIP_DIRS: &[&str] = &["vendor", "target", ".git", "fixtures"];
+
+/// Analyze every Rust source under `root` (a workspace checkout) and
+/// return all findings, suppressed ones included, sorted by
+/// `(file, line, rule)`.
+pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+
+    // Pass 1: lex everything once; pull the stable-diagnostic set out of
+    // the chaos battery.
+    let mut ctxs = Vec::with_capacity(files.len());
+    for rel in &files {
+        let src = std::fs::read_to_string(root.join(rel))?;
+        ctxs.push(FileCtx::new(
+            &rel.to_string_lossy().replace('\\', "/"),
+            &src,
+        ));
+    }
+    let stable = ctxs
+        .iter()
+        .find(|c| c.rel_path == STABLE_DIAGNOSTICS_FILE)
+        .map(parse_stable_diagnostics)
+        .unwrap_or_default();
+
+    // Pass 2: file-scoped rules.
+    let mut findings = Vec::new();
+    for ctx in &ctxs {
+        findings.extend(rules::check_file(ctx, &stable));
+    }
+
+    // Pass 3: workspace-scoped halves of GL004/GL005.
+    findings.extend(gl004_dead_entries(&ctxs, &stable));
+    findings.extend(gl005_missing_structs(&ctxs));
+
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, &a.rule, &a.message).cmp(&(&b.file, b.line, &b.rule, &b.message))
+    });
+    findings.dedup();
+    Ok(findings)
+}
+
+/// Find the workspace root: walk up from `start` until a `Cargo.toml`
+/// containing `[workspace]` appears.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path.strip_prefix(root).unwrap_or(&path).to_path_buf());
+        }
+    }
+    Ok(())
+}
+
+/// Extract the `STABLE_DIAGNOSTICS` entries from the chaos battery's
+/// token stream: every string literal between the const's `[` and `]`.
+pub fn parse_stable_diagnostics(ctx: &FileCtx) -> Vec<String> {
+    let toks = &ctx.toks;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Ident && toks[i].text == "STABLE_DIAGNOSTICS" {
+            // Skip the type annotation: scan to `=`, then to the
+            // initializer's `[`, then collect strings to the matching `]`.
+            let mut j = i + 1;
+            while j < toks.len() && toks[j].text != "=" && toks[j].text != ";" {
+                j += 1;
+            }
+            while j < toks.len() && toks[j].text != "[" && toks[j].text != ";" {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].text == "[" {
+                let mut depth = 0usize;
+                while j < toks.len() {
+                    match toks[j].text.as_str() {
+                        "[" => depth += 1,
+                        "]" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {
+                            if toks[j].kind == TokKind::Str {
+                                out.push(toks[j].text.clone());
+                            }
+                        }
+                    }
+                    j += 1;
+                }
+            }
+            break;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// GL004 (workspace half): every stable-diagnostic entry must appear in
+/// at least one string literal of the runtime sources (mpi, check,
+/// harness). A dead entry means the battery asserts a diagnostic nothing
+/// can produce — usually a sign the source string drifted.
+fn gl004_dead_entries(ctxs: &[FileCtx], stable: &[String]) -> Vec<Finding> {
+    if stable.is_empty() {
+        return Vec::new();
+    }
+    let chaos = ctxs.iter().find(|c| c.rel_path == STABLE_DIAGNOSTICS_FILE);
+    let universe: Vec<&FileCtx> = ctxs
+        .iter()
+        .filter(|c| {
+            (c.rel_path.starts_with("crates/mpi/src/")
+                || c.rel_path.starts_with("crates/check/src/")
+                || c.rel_path.starts_with("crates/harness/src/"))
+                && c.rel_path != STABLE_DIAGNOSTICS_FILE
+        })
+        .collect();
+    let mut out = Vec::new();
+    for entry in stable {
+        let produced = universe.iter().any(|c| {
+            c.toks
+                .iter()
+                .any(|t| t.kind == TokKind::Str && t.text.contains(entry.as_str()))
+        });
+        if !produced {
+            let line = chaos
+                .and_then(|c| {
+                    c.toks
+                        .iter()
+                        .find(|t| t.kind == TokKind::Str && t.text == *entry)
+                        .map(|t| t.line)
+                })
+                .unwrap_or(0);
+            out.push(Finding {
+                rule: "GL004".into(),
+                file: STABLE_DIAGNOSTICS_FILE.into(),
+                line,
+                message: format!(
+                    "stable diagnostic {entry:?} is produced by no string literal in \
+                     mpi/check/harness sources — dead entry or drifted source string"
+                ),
+                suppressed: chaos
+                    .and_then(|c| c.suppression_for("GL004", line))
+                    .is_some(),
+                reason: chaos
+                    .and_then(|c| c.suppression_for("GL004", line))
+                    .map(|s| s.reason.clone()),
+            });
+        }
+    }
+    out
+}
+
+/// GL005 (workspace half): every struct in the baseline table must still
+/// exist somewhere — a rename would otherwise silently disable its check.
+fn gl005_missing_structs(ctxs: &[FileCtx]) -> Vec<Finding> {
+    let mut seen: BTreeMap<&str, bool> = SERDE_BASELINES.iter().map(|(n, _)| (*n, false)).collect();
+    for ctx in ctxs {
+        let toks = &ctx.toks;
+        for k in 0..toks.len().saturating_sub(1) {
+            if toks[k].kind == TokKind::Ident && toks[k].text == "struct" {
+                // Next significant token is the name.
+                if let Some(n) = ctx.next_sig(k + 1) {
+                    if let Some(v) = seen.get_mut(toks[n].text.as_str()) {
+                        *v = true;
+                    }
+                }
+            }
+        }
+    }
+    seen.iter()
+        .filter(|(_, &found)| !found)
+        .map(|(name, _)| Finding {
+            rule: "GL005".into(),
+            file: "crates/analyze/src/rules.rs".into(),
+            line: 0,
+            message: format!(
+                "baseline struct `{name}` no longer exists in the workspace; update \
+                 SERDE_BASELINES so schema-compat checking follows the rename"
+            ),
+            suppressed: false,
+            reason: None,
+        })
+        .collect()
+}
+
+/// Render findings for humans: unsuppressed first, `file:line: RULE msg`,
+/// then a one-line summary.
+pub fn render_human(findings: &[Finding]) -> String {
+    let mut s = String::new();
+    let unsuppressed: Vec<&Finding> = findings.iter().filter(|f| !f.suppressed).collect();
+    for f in &unsuppressed {
+        s.push_str(&format!(
+            "{}:{}: {} {}\n",
+            f.file, f.line, f.rule, f.message
+        ));
+    }
+    let suppressed = findings.len() - unsuppressed.len();
+    s.push_str(&format!(
+        "greenla-lint: {} finding(s), {} suppressed\n",
+        unsuppressed.len(),
+        suppressed
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_diagnostics_parse_from_a_const_array() {
+        let src = r#"
+const STABLE_DIAGNOSTICS: &[&str] = &[
+    "injected fault:",
+    "simulated MPI run aborted",
+];
+"#;
+        let ctx = FileCtx::new(STABLE_DIAGNOSTICS_FILE, src);
+        assert_eq!(
+            parse_stable_diagnostics(&ctx),
+            vec!["injected fault:", "simulated MPI run aborted"]
+        );
+    }
+
+    #[test]
+    fn workspace_root_discovery_walks_upward() {
+        let here = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        assert!(root.join("crates/analyze").is_dir());
+    }
+}

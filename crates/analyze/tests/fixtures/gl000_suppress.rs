@@ -1,0 +1,8 @@
+//! GL000 fixture: malformed suppression comments.
+
+// greenla-allow: GL999 no such rule
+pub fn unknown_code() {}
+
+pub fn missing_reason() {} // greenla-allow: GL003
+
+pub fn fine() {}

@@ -1,0 +1,34 @@
+//! GL001 fixture: unsafe sites with and without justification.
+//! Analyzed as `crates/linalg/src/gl001_unsafe.rs` (GL001 runs everywhere).
+
+pub fn bad_block(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub unsafe fn bad_fn(p: *const u8) -> u8 {
+    // SAFETY: the inner read restates the caller's contract.
+    unsafe { *p }
+}
+
+unsafe impl Send for Wrapper {}
+
+pub fn good_block(p: *const u8) -> u8 {
+    // SAFETY: the caller proved `p` valid for reads.
+    unsafe { *p }
+}
+
+/// Reads one byte through `p`.
+///
+/// # Safety
+/// `p` must be valid for reads.
+pub unsafe fn good_fn(p: *const u8) -> u8 {
+    // SAFETY: exactly the documented contract.
+    unsafe { *p }
+}
+
+pub fn suppressed_block(p: *const u8) -> u8 {
+    // greenla-allow: GL001 fixture exercises the suppression path
+    unsafe { *p }
+}
+
+pub struct Wrapper(*mut u8);

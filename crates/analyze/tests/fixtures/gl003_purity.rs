@@ -1,0 +1,34 @@
+//! GL003 fixture: wall-clock and OS-randomness reads in a sim crate.
+//! Analyzed as `crates/rapl/src/gl003_purity.rs` (rapl is a sim crate).
+
+use std::time::Instant;
+
+pub fn bad_instant() -> Instant {
+    Instant::now()
+}
+
+pub fn bad_sleep(d: std::time::Duration) {
+    std::thread::sleep(d);
+}
+
+pub fn bad_rng() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}
+
+pub fn bad_systemtime() -> SystemTime {
+    SystemTime::now()
+}
+
+pub fn allowed_probe() -> Instant {
+    // greenla-allow: GL003 fixture exercises the suppression path
+    Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn wall_clock_reads_are_fine_in_tests() {
+        let _ = std::time::Instant::now();
+    }
+}

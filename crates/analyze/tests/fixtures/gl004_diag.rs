@@ -1,0 +1,28 @@
+//! GL004 fixture: abort diagnostics versus the stable set. Analyzed as
+//! `crates/mpi/src/gl004_diag.rs` with a two-entry stable set:
+//! `["injected fault:", "simulated MPI run aborted"]`.
+
+pub fn bad_abort() -> ! {
+    panic!("run aborted: counter wedged")
+}
+
+pub fn good_abort(rank: usize) -> ! {
+    panic!("simulated MPI run aborted: rank {rank} gone")
+}
+
+pub fn routed(kind: &str) -> String {
+    format!("injected fault: {kind}")
+}
+
+pub fn suppressed_abort() -> ! {
+    // greenla-allow: GL004 fixture exercises the suppression path
+    panic!("run aborted: legacy probe")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_literals_are_exempt() {
+        assert!(!"aborted in a test".is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! GL005 fixture: persisted-struct fields beyond the v1 baseline.
+//! Analyzed as `crates/harness/src/gl005_serde.rs`.
+
+#[derive(Serialize, Deserialize)]
+pub struct RunConfig {
+    pub n: usize,
+    pub ranks: usize,
+    pub layout: LoadLayout,
+    pub solver: SolverChoice,
+    pub system: SystemKind,
+    pub cores_per_socket: usize,
+    pub seed: u64,
+    pub check: bool,
+    #[serde(default)]
+    pub faults: Option<FaultPlan>,
+}
+
+#[derive(Serialize, Deserialize)]
+#[serde(default)]
+pub struct BenchEntry {
+    pub id: String,
+    pub reps: u32,
+    pub median_wall_s: f64,
+    pub spread: f64,
+}
+
+#[derive(Serialize, Deserialize)]
+pub struct BenchSuite {
+    pub suite: String,
+    pub entries: Vec<BenchEntry>,
+    // greenla-allow: GL005 fixture exercises the suppression path
+    pub schema_rev: u32,
+}
+
+#[derive(Serialize, Deserialize)]
+pub struct NotPersisted {
+    pub anything: u64,
+}
+
+pub struct FaultPlan;

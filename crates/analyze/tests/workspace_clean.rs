@@ -1,0 +1,28 @@
+//! The self-application smoke test: the workspace this crate ships in
+//! must analyze clean — zero unsuppressed findings — which is exactly
+//! what the CI `analyze` job enforces via the binary's exit code.
+
+use greenla_analyze::{analyze_workspace, find_workspace_root, render_human};
+use std::path::Path;
+
+#[test]
+fn the_workspace_itself_has_zero_unsuppressed_findings() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above crates/analyze");
+    let findings = analyze_workspace(&root).expect("analyze workspace");
+    let unsuppressed: Vec<_> = findings.iter().filter(|f| !f.suppressed).collect();
+    assert!(
+        unsuppressed.is_empty(),
+        "the workspace must lint clean; fix or `greenla-allow` these:\n{}",
+        render_human(&findings)
+    );
+    // Suppressions that do exist must each carry a recorded reason
+    // (GL000 already enforces non-empty at parse time; this pins the
+    // JSON artifact shape).
+    for f in findings.iter().filter(|f| f.suppressed) {
+        assert!(
+            f.reason.as_deref().is_some_and(|r| !r.trim().is_empty()),
+            "suppressed finding without a reason: {f:?}"
+        );
+    }
+}

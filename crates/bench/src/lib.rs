@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared helpers for the Criterion benchmark suite.
 //!
 //! Each `benches/figN_*.rs` target regenerates one of the paper's figures:

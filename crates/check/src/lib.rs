@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # greenla-check
 //!
 //! A MUST-style dynamic correctness checker for the simulated MPI runtime.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # greenla-cluster
 //!
 //! Simulated HPC hardware model: CPU/node/interconnect specifications (with

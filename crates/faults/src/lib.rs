@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # greenla-faults — deterministic fault injection for the simulated runtime
 //!
 //! Energy campaigns on real clusters fight node dropouts, lost messages

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `bench_gate` — compare current `BENCH_*.json` reports against the
 //! checked-in baseline and fail on regression.
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # greenla-harness
 //!
 //! The experiment harness that regenerates every table and figure of the

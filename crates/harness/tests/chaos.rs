@@ -35,6 +35,10 @@ const STABLE_DIAGNOSTICS: &[&str] = &[
     "simulated MPI run aborted",
     "all peers gone while rank",
     "collective contract violated",
+    // A wedged schedule dying loudly *is* the no-hang guarantee working:
+    // the event engine's exact-quiescence probe aborts with this prefix
+    // on unchecked runs (checked runs get the wait-for cycle instead).
+    "deadlock:",
 ];
 
 fn chaos_cfg(solver: SolverChoice, plan: FaultPlan) -> RunConfig {

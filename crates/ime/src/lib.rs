@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # greenla-ime
 //!
 //! The **Inhibition Method** (IMe) linear-system solver — the iterative,

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # greenla-linalg
 //!
 //! Dense linear-algebra substrate for the `greenla` workspace: a column-major

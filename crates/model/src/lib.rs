@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # greenla-model
 //!
 //! Analytic time/energy/traffic models for the two solvers at **paper

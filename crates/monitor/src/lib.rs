@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # greenla-monitor
 //!
 //! The paper's contribution: a **white-box, per-node energy-monitoring

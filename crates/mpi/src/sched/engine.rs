@@ -87,6 +87,9 @@ struct TaskSlot {
 // and `state` are mutex-guarded; `engine`/`canary` are written once
 // before workers start.
 unsafe impl Send for TaskSlot {}
+// SAFETY: shared access is sound for the same reasons as `Send` above —
+// home pinning serialises the unsynchronised cells, mutexes guard the
+// rest.
 unsafe impl Sync for TaskSlot {}
 
 /// All fiber stacks in one allocation: 10k ranks × 512 KiB is ~5 GiB of
@@ -143,6 +146,8 @@ pub struct Engine {
 // storage; all cross-thread access is synchronised as described on
 // `TaskSlot`.
 unsafe impl Send for Engine {}
+// SAFETY: as for `Send` — the stack pool is only carved into disjoint
+// per-task regions, and every `TaskSlot` synchronises its own state.
 unsafe impl Sync for Engine {}
 
 thread_local! {
@@ -409,6 +414,9 @@ extern "C" fn fiber_entry(arg: *mut u8) -> ! {
     // SAFETY: `arg` is the `TaskSlot` this fiber was prepared with; the
     // engine outlives all fibers (workers join before `run` returns).
     let slot = unsafe { &*(arg as *const TaskSlot) };
+    // SAFETY: `engine` was set to the owning `Arc`'s pointer in `run`
+    // before any fiber started, and `run` keeps that Arc alive until
+    // every task is Done.
     let engine = unsafe { &*slot.engine.get() };
     let body = slot
         .body

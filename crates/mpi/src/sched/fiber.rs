@@ -102,7 +102,9 @@ greenla_fiber_boot:
     /// on any thread. `save` must stay valid until something switches back
     /// into it.
     pub(crate) unsafe fn switch(save: *mut Context, load: *mut Context) {
-        greenla_fiber_switch(save, load);
+        // SAFETY: the caller upholds the contract above; the asm routine
+        // only reads `*load`, writes `*save`, and swaps stacks.
+        unsafe { greenla_fiber_switch(save, load) };
     }
 
     /// Build the initial context for a fresh fiber on the stack ending
@@ -118,15 +120,20 @@ greenla_fiber_boot:
         // r15 (arg), r14 (entry), r13, r12, rbx, rbp, return address
         // (greenla_fiber_boot), padding keeping `top` the logical base.
         let frame = (top - 8 * 8) as *mut u64;
-        frame.add(0).write(arg as u64); // → r15
-        frame.add(1).write(entry as usize as u64); // → r14
-        for i in 2..6 {
-            frame.add(i).write(0); // r13, r12, rbx, rbp
+        // SAFETY: the caller guarantees a writable stack ending at
+        // `stack_top`; all eight slots lie strictly below the (aligned)
+        // top, inside that region.
+        unsafe {
+            frame.add(0).write(arg as u64); // → r15
+            frame.add(1).write(entry as usize as u64); // → r14
+            for i in 2..6 {
+                frame.add(i).write(0); // r13, r12, rbx, rbp
+            }
+            frame
+                .add(6)
+                .write(greenla_fiber_boot as *const () as usize as u64);
+            frame.add(7).write(0);
         }
-        frame
-            .add(6)
-            .write(greenla_fiber_boot as *const () as usize as u64);
-        frame.add(7).write(0);
         Context {
             sp: frame as *mut u8,
         }
@@ -137,10 +144,18 @@ greenla_fiber_boot:
 mod imp {
     use super::{Context, Entry};
 
+    /// # Safety
+    /// Never dereferences its arguments: this stub exists only so the
+    /// crate still compiles on non-x86_64 targets, and it diverges before
+    /// touching anything. The signature stays `unsafe` to mirror the real
+    /// implementation.
     pub(crate) unsafe fn switch(_save: *mut Context, _load: *mut Context) {
         unreachable!("fiber switching is only implemented on x86_64");
     }
 
+    /// # Safety
+    /// Never dereferences its arguments; diverges immediately (see
+    /// [`switch`]). `unsafe` only to mirror the x86_64 signature.
     pub(crate) unsafe fn prepare(_stack_top: *mut u8, _entry: Entry, _arg: *mut u8) -> Context {
         panic!(
             "the event-driven scheduler requires x86_64 (no fiber switch for this \
@@ -163,11 +178,17 @@ mod tests {
     }
 
     extern "C" fn pingpong_entry(arg: *mut u8) -> ! {
+        // SAFETY: `arg` is the Boxed `PingPong` the test prepared; the
+        // host keeps it alive for the whole ping-pong.
         let pp = unsafe { &mut *(arg as *mut PingPong) };
         pp.log.push(1);
+        // SAFETY: both contexts were built by `prepare`/saved by `switch`
+        // and only one side executes at a time.
         unsafe { switch(&mut pp.fiber, &mut pp.host) };
+        // SAFETY: re-borrow after the host ran; same Box, still alive.
         let pp = unsafe { &mut *(arg as *mut PingPong) };
         pp.log.push(3);
+        // SAFETY: as above — final yield back to the host.
         unsafe { switch(&mut pp.fiber, &mut pp.host) };
         unreachable!("fiber resumed after its final yield");
     }
@@ -175,6 +196,7 @@ mod tests {
     #[test]
     fn switch_round_trips_preserve_control_flow() {
         let mut stack = vec![0u8; 64 * 1024];
+        // SAFETY: one-past-the-end of the live Vec allocation.
         let top = unsafe { stack.as_mut_ptr().add(stack.len()) };
         let mut pp = Box::new(PingPong {
             host: Context::empty(),
@@ -182,9 +204,12 @@ mod tests {
             log: Vec::new(),
         });
         let arg = &mut *pp as *mut PingPong as *mut u8;
+        // SAFETY: `top` bounds a writable 64 KiB stack owned by this test.
         pp.fiber = unsafe { prepare(top, pingpong_entry, arg) };
+        // SAFETY: `fiber` was just prepared; `host` is saved into.
         unsafe { switch(&mut pp.host, &mut pp.fiber) };
         pp.log.push(2);
+        // SAFETY: `fiber` parked itself at its first yield; resume it.
         unsafe { switch(&mut pp.host, &mut pp.fiber) };
         pp.log.push(4);
         assert_eq!(pp.log, vec![1, 2, 3, 4]);
@@ -200,15 +225,20 @@ mod tests {
             sum: u64,
         }
         extern "C" fn acc_entry(arg: *mut u8) -> ! {
+            // SAFETY: `arg` is this fiber's Boxed `Slot`, kept alive by
+            // the test for the whole round-robin.
             let s = unsafe { &mut *(arg as *mut Slot) };
             let mut local = 0u64;
             for step in 1..=3u64 {
                 local += step;
                 s.sum = local;
+                // SAFETY: yield back to the host that resumed us.
                 unsafe { switch(&mut s.fiber, &mut s.host) };
             }
+            // SAFETY: re-borrow after the host ran; same Box, still alive.
             let s = unsafe { &mut *(arg as *mut Slot) };
             loop {
+                // SAFETY: park forever; the host stops resuming us.
                 unsafe { switch(&mut s.fiber, &mut s.host) };
             }
         }
@@ -228,10 +258,14 @@ mod tests {
         for (i, s) in slots.iter_mut().enumerate() {
             let top = (base + (i + 1) * STACK) as *mut u8;
             let arg = &mut **s as *mut Slot as *mut u8;
+            // SAFETY: slot `i` owns bytes `[base + i*STACK, top)` of the
+            // live pool allocation; stacks do not overlap.
             s.fiber = unsafe { prepare(top, acc_entry, arg) };
         }
         for _round in 0..3 {
             for s in slots.iter_mut() {
+                // SAFETY: each fiber is parked (prepared or mid-yield);
+                // resume strictly one at a time from the host.
                 unsafe { switch(&mut s.host, &mut s.fiber) };
             }
         }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # greenla-papi
 //!
 //! A PAPI-like performance/energy counter API over the simulated RAPL

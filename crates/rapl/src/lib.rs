@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # greenla-rapl
 //!
 //! A functional simulation of Intel's Running Average Power Limit (RAPL)

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # greenla-scalapack
 //!
 //! A from-scratch "ScaLAPACK-lite": dense LU factorisation with partial

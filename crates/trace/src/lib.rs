@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Virtual-time event tracing for the simulated MPI runtime.
 //!
 //! The runtime's clocks are *virtual*: each rank advances its own `f64`

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # greenla
 //!
 //! Energy-consumption comparison of parallel linear-system solvers on a
