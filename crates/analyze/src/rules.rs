@@ -8,6 +8,7 @@
 //! | GL003 | simulation crates never read wall clocks, OS sleep, or OS randomness |
 //! | GL004 | abort diagnostics in mpi/harness stay within the chaos battery's stable set |
 //! | GL005 | new fields on persisted config/schema structs are `#[serde(default)]` |
+//! | GL006 | `#[target_feature]` kernels are private `unsafe fn`s in the dispatch module, with a SAFETY/dispatch note |
 //!
 //! Every rule reports `file:line` findings; `// greenla-allow: GLxxx
 //! <reason>` on the offending line (or the comment line directly above)
@@ -120,8 +121,15 @@ pub const SERDE_BASELINES: &[(&str, &[&str])] = &[
     ("BenchReport", &["schema", "suites"]),
 ];
 
+/// Files allowed to define `#[target_feature]` functions (GL006): the
+/// runtime-dispatch modules, which hand ISA kernels out as fn pointers
+/// only after `is_x86_feature_detected!` confirms the hardware. Anywhere
+/// else, a feature-gated function is one refactor away from being called
+/// on a machine that cannot execute it.
+pub const DISPATCH_MODULES: &[&str] = &["crates/linalg/src/simd.rs"];
+
 /// All rule codes, for suppression validation.
-pub const RULE_CODES: &[&str] = &["GL001", "GL002", "GL003", "GL004", "GL005"];
+pub const RULE_CODES: &[&str] = &["GL001", "GL002", "GL003", "GL004", "GL005", "GL006"];
 
 /// Which crate (under `crates/`) a workspace-relative path belongs to.
 fn crate_of(rel: &str) -> Option<&str> {
@@ -167,6 +175,7 @@ pub fn check_file(ctx: &FileCtx, stable: &[String]) -> Vec<Finding> {
         gl004_stable_diagnostics(ctx, stable, &mut out);
     }
     gl005_serde_defaults(ctx, &mut out);
+    gl006_target_feature_dispatch(ctx, &mut out);
     out
 }
 
@@ -554,6 +563,123 @@ fn gl005_serde_defaults(ctx: &FileCtx, out: &mut Vec<Finding>) {
                 }
             }
             j += 1;
+        }
+    }
+}
+
+/// GL006: `#[target_feature(enable = …)]` functions follow the dispatch
+/// contract. Three obligations, each its own finding: the function is an
+/// `unsafe fn` (a safe signature would let any caller execute ISA
+/// instructions the host may not have — the 1.86 safe-`target_feature`
+/// rules are deliberately not relied on here, so an exception needs a
+/// `greenla-allow` with the justification); it carries a `SAFETY:` /
+/// `# Safety` note stating the dispatch contract; and it is a private
+/// symbol inside a [`DISPATCH_MODULES`] file, reachable only through the
+/// fn-pointer tables the dispatcher hands out after feature detection.
+fn gl006_target_feature_dispatch(ctx: &FileCtx, out: &mut Vec<Finding>) {
+    let toks = &ctx.toks;
+    let mut i = 0;
+    while i < toks.len() {
+        if !ctx.attr_mask[i] {
+            i += 1;
+            continue;
+        }
+        // One contiguous attribute run (possibly several stacked `#[…]`s).
+        let start = i;
+        let mut end = i;
+        while end < toks.len() && ctx.attr_mask[end] {
+            end += 1;
+        }
+        i = end;
+        let Some(tf) = toks[start..end]
+            .iter()
+            .find(|t| t.kind == TokKind::Ident && t.text == "target_feature")
+        else {
+            continue;
+        };
+        // Scan past comments to the `fn` keyword, collecting modifiers.
+        let (mut is_unsafe, mut is_pub, mut fn_at) = (false, false, None);
+        let mut j = end;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_comment() || ctx.attr_mask[j] {
+                j += 1;
+                continue;
+            }
+            match (t.kind, t.text.as_str()) {
+                (TokKind::Ident, "fn") => {
+                    fn_at = Some(j);
+                    break;
+                }
+                (TokKind::Ident, "unsafe") => is_unsafe = true,
+                (TokKind::Ident, "pub") => is_pub = true,
+                (TokKind::Ident, "const" | "extern" | "crate" | "super" | "self" | "in") => {}
+                (TokKind::Str, _) | (TokKind::Punct, "(" | ")") => {}
+                _ => break, // attribute attached to a non-fn item
+            }
+            j += 1;
+        }
+        let Some(fa) = fn_at else { continue };
+        // Findings anchor on the `fn` line: that is the next *code* line,
+        // so a whole-line `greenla-allow` above the attribute stack (and a
+        // trailing one on the signature) both cover it.
+        let line = toks[fa].line;
+        let name = ctx
+            .next_sig(fa + 1)
+            .map(|k| toks[k].text.clone())
+            .unwrap_or_default();
+        if !is_unsafe {
+            push(
+                ctx,
+                out,
+                "GL006",
+                line,
+                format!(
+                    "#[target_feature] fn `{name}` is not `unsafe`: a plain call could \
+                     execute instructions the host lacks; mark it `unsafe fn` (or suppress \
+                     with the safe-target-feature justification)"
+                ),
+            );
+        }
+        if is_pub {
+            push(
+                ctx,
+                out,
+                "GL006",
+                line,
+                format!(
+                    "#[target_feature] fn `{name}` is `pub`; ISA kernels must stay private \
+                     and be handed out as fn pointers by the dispatcher after feature \
+                     detection"
+                ),
+            );
+        }
+        if !DISPATCH_MODULES.contains(&ctx.rel_path.as_str()) {
+            push(
+                ctx,
+                out,
+                "GL006",
+                line,
+                format!(
+                    "#[target_feature] fn `{name}` outside the dispatch module(s) {}; \
+                     feature-gated kernels live behind the runtime dispatcher only",
+                    DISPATCH_MODULES.join(", ")
+                ),
+            );
+        }
+        if !ctx.annotation_above_contains(tf.line, "SAFETY:", false)
+            && !ctx.annotation_above_contains(tf.line, "# Safety", true)
+        {
+            push(
+                ctx,
+                out,
+                "GL006",
+                line,
+                format!(
+                    "#[target_feature] fn `{name}` has no SAFETY/dispatch note; document \
+                     that only the feature-detecting dispatcher may reach it"
+                ),
+            );
         }
     }
 }

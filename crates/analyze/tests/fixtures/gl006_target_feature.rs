@@ -1,0 +1,31 @@
+//! GL006 fixture: `#[target_feature]` kernels and the dispatch contract.
+//! Analyzed twice: as `crates/linalg/src/simd.rs` (the dispatch module —
+//! placement is legal, the other obligations still bind) and as
+//! `crates/harness/src/gl006_target_feature.rs` (where every kernel is
+//! additionally outside the dispatch module).
+
+// A safe signature: flagged — a plain call could execute AVX2
+// instructions on a host that lacks them. No safety note either.
+#[target_feature(enable = "avx2")]
+fn bad_safe_kernel() {}
+
+/// # Safety
+/// Caller must have verified `avx2` via `is_x86_feature_detected!`.
+#[target_feature(enable = "avx2")]
+pub unsafe fn bad_pub_kernel() {}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn bad_undocumented_kernel() {}
+
+/// # Safety
+/// Dispatch contract: only the feature-detecting dispatcher reaches this
+/// symbol, after `is_x86_feature_detected!` confirmed `avx2`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn good_kernel() {}
+
+// SAFETY: handed out by the dispatch table only after feature detection.
+// greenla-allow: GL006 fixture exercises the suppression path
+#[target_feature(enable = "avx2")]
+fn suppressed_safe_kernel() {}

@@ -30,6 +30,15 @@ const FIXTURES: &[(&str, &str, &[&str])] = &[
         FIXTURE_STABLE,
     ),
     ("gl005_serde.rs", "crates/harness/src/gl005_serde.rs", &[]),
+    // The GL006 fixture runs twice: inside the dispatch module (placement
+    // legal, the unsafe/visibility/note obligations still bind) and
+    // outside it (every kernel additionally violates placement).
+    ("gl006_target_feature.rs", "crates/linalg/src/simd.rs", &[]),
+    (
+        "gl006_target_feature.rs",
+        "crates/harness/src/gl006_target_feature.rs",
+        &[],
+    ),
     ("clean.rs", "crates/mpi/src/clean.rs", FIXTURE_STABLE),
 ];
 
@@ -152,6 +161,43 @@ fn gl005_flags_baseline_growth_without_serde_default() {
     assert!(f[0].message.contains("`check`"), "{}", f[0].message);
     // faults (field serde(default)), BenchEntry.spread (container-level
     // default), NotPersisted, and the unit FaultPlan all stay clean.
+}
+
+#[test]
+fn gl006_enforces_the_dispatch_contract() {
+    // Inside the dispatch module: placement is legal, so only the
+    // unsafe / visibility / safety-note obligations fire.
+    let f = analyze_fixture("gl006_target_feature.rs", "crates/linalg/src/simd.rs", &[]);
+    assert_eq!(
+        shape(&f),
+        vec![
+            ("GL001".into(), 19, false), // unsafe fn without SAFETY (GL001 overlaps)
+            ("GL006".into(), 10, false), // safe #[target_feature] fn
+            ("GL006".into(), 10, false), // …and it has no safety note
+            ("GL006".into(), 15, false), // pub kernel
+            ("GL006".into(), 19, false), // no SAFETY/dispatch note
+            ("GL006".into(), 31, true),  // suppressed safe kernel
+        ]
+    );
+    assert!(f[1].message.contains("not `unsafe`"), "{}", f[1].message);
+    assert!(f[3].message.contains("`pub`"), "{}", f[3].message);
+    // `good_kernel` (line 26) is clean inside the dispatch module.
+    assert!(!f.iter().any(|x| x.line == 26));
+
+    // Outside the dispatch module: every kernel also violates placement —
+    // including the otherwise-compliant one.
+    let f = analyze_fixture(
+        "gl006_target_feature.rs",
+        "crates/harness/src/gl006_target_feature.rs",
+        &[],
+    );
+    assert!(f
+        .iter()
+        .any(|x| x.rule == "GL006" && x.line == 26 && x.message.contains("outside")));
+    assert_eq!(
+        f.iter().filter(|x| x.message.contains("outside")).count(),
+        5
+    );
 }
 
 #[test]

@@ -19,9 +19,11 @@ use crate::config::SolverChoice;
 use crate::run::{run_once, RunConfig};
 use greenla_cluster::placement::LoadLayout;
 use greenla_linalg::blas3::{
-    dgemm_blocked, dgemm_reference, dtrsm_left_lower_unit, dtrsm_left_upper,
+    dgemm_blocked, dgemm_blocked_path, dgemm_reference, dtrsm_left_lower_unit, dtrsm_left_upper,
 };
 use greenla_linalg::generate::SystemKind;
+use greenla_linalg::par::dgemm_parallel_blocked;
+use greenla_linalg::simd::{self, KernelPath};
 use greenla_linalg::tune::Blocking;
 use greenla_linalg::{flops, Matrix};
 use serde::{Deserialize, Serialize};
@@ -50,6 +52,10 @@ fn no_rate() -> Option<f64> {
     None
 }
 
+fn no_path() -> Option<String> {
+    None
+}
+
 /// A named collection of benchmark results.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct BenchSuite {
@@ -62,6 +68,13 @@ pub struct BenchSuite {
 pub struct BenchReport {
     /// Format version for forward compatibility.
     pub schema: u32,
+    /// The microkernel path ([`greenla_linalg::simd::resolved`]) the report
+    /// was produced under. Kernel wall-clocks are only comparable within
+    /// one path — `bench_gate` refuses a cross-path diff rather than
+    /// reporting a spurious ISA "regression"/"improvement". `None` in
+    /// pre-dispatch artifacts (the serde default keeps them parsing).
+    #[serde(default = "no_path")]
+    pub kernel_path: Option<String>,
     pub suites: Vec<BenchSuite>,
 }
 
@@ -71,6 +84,7 @@ impl BenchReport {
     pub fn new(suites: Vec<BenchSuite>) -> Self {
         BenchReport {
             schema: SCHEMA,
+            kernel_path: Some(simd::resolved().label().to_string()),
             suites,
         }
     }
@@ -95,7 +109,7 @@ impl BenchReport {
 /// untimed warm-up (first-touch page faults and cold caches belong to no
 /// repetition). The list is sorted; even counts take the lower middle so
 /// one fast outlier can't mask a regression.
-fn median_wall(reps: usize, mut f: impl FnMut()) -> f64 {
+pub(crate) fn median_wall(reps: usize, mut f: impl FnMut()) -> f64 {
     assert!(reps > 0);
     f();
     let mut times: Vec<f64> = (0..reps)
@@ -109,7 +123,7 @@ fn median_wall(reps: usize, mut f: impl FnMut()) -> f64 {
     times[(times.len() - 1) / 2]
 }
 
-fn test_matrix(n: usize, salt: usize) -> Matrix {
+pub(crate) fn test_matrix(n: usize, salt: usize) -> Matrix {
     Matrix::from_fn(n, n, |i, j| ((i * (7 + salt) + j * 13) % 17) as f64 - 8.0)
 }
 
@@ -155,6 +169,65 @@ pub fn kernel_suite(quick: bool) -> BenchSuite {
         });
         entries.push(BenchEntry {
             id: "dgemm_scalar_512".into(),
+            reps,
+            median_wall_s: wall,
+            gflops: Some(flops::dgemm(n, n, n) as f64 / wall / 1e9),
+            virtual_s: None,
+        });
+    }
+
+    // The packed loop nest pinned to the scalar microkernel at the
+    // acceptance size: together with `dgemm_packed_512` (dispatched path)
+    // this keeps the SIMD-dispatch win visible in every artifact, the same
+    // way `dgemm_scalar_512` keeps the packing win visible.
+    {
+        let n = 512;
+        let a = test_matrix(n, 0);
+        let b = test_matrix(n, 2);
+        let mut c = Matrix::zeros(n, n);
+        let wall = median_wall(reps, || {
+            dgemm_blocked_path(
+                KernelPath::Scalar,
+                1.0,
+                a.block(),
+                b.block(),
+                0.0,
+                c.block_mut(),
+                &tune,
+            );
+        });
+        entries.push(BenchEntry {
+            id: "dgemm_packed_scalar_512".into(),
+            reps,
+            median_wall_s: wall,
+            gflops: Some(flops::dgemm(n, n, n) as f64 / wall / 1e9),
+            virtual_s: None,
+        });
+    }
+
+    // Sequential-vs-parallel pair at n = 1024 on the dispatched path: the
+    // scaling acceptance criterion (≥ 3× on 4 workers on a ≥ 4-core host)
+    // is their wall-clock ratio, and both entries ride the gate.
+    {
+        let n = 1024;
+        let a = test_matrix(n, 0);
+        let b = test_matrix(n, 2);
+        let mut c = Matrix::zeros(n, n);
+        let wall = median_wall(reps, || {
+            dgemm_blocked(1.0, a.block(), b.block(), 0.0, c.block_mut(), &tune);
+        });
+        entries.push(BenchEntry {
+            id: "dgemm_seq_1024".into(),
+            reps,
+            median_wall_s: wall,
+            gflops: Some(flops::dgemm(n, n, n) as f64 / wall / 1e9),
+            virtual_s: None,
+        });
+        let wall = median_wall(reps, || {
+            dgemm_parallel_blocked(1.0, a.block(), b.block(), 0.0, c.block_mut(), &tune, 4);
+        });
+        entries.push(BenchEntry {
+            id: "dgemm_par_1024_w4".into(),
             reps,
             median_wall_s: wall,
             gflops: Some(flops::dgemm(n, n, n) as f64 / wall / 1e9),

@@ -80,6 +80,38 @@ fn main() {
     let args = parse_args();
     let baseline = load(&args.baseline);
     let current: Vec<BenchReport> = args.current.iter().map(load).collect();
+
+    // Kernel wall-clocks are only comparable within one dispatched
+    // microkernel path: diffing a scalar-path report against an avx512
+    // baseline would read as a ~2× "regression" (or a spurious 2×
+    // "improvement" the other way). Refuse the comparison outright;
+    // reports predating the `kernel_path` field are exempt.
+    if let Some(bpath) = baseline.kernel_path.as_deref() {
+        for (path, rep) in args.current.iter().zip(&current) {
+            if let Some(cpath) = rep.kernel_path.as_deref() {
+                if cpath != bpath {
+                    eprintln!(
+                        "bench gate REFUSED: baseline {} was measured on kernel path `{bpath}` \
+                         but {} on `{cpath}`; rerun on a matching CPU/GREENLA_KERNEL or \
+                         regenerate the baseline on this path (see EXPERIMENTS.md)",
+                        args.baseline.display(),
+                        path.display(),
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    eprintln!(
+        "kernel path: baseline `{}`, current `{}`",
+        baseline.kernel_path.as_deref().unwrap_or("unrecorded"),
+        current
+            .iter()
+            .filter_map(|r| r.kernel_path.as_deref())
+            .next()
+            .unwrap_or("unrecorded"),
+    );
+
     let lines = gate(&baseline, &current, args.warn_pct, args.fail_pct);
 
     println!(

@@ -187,6 +187,13 @@ fn main() {
         use greenla_harness::bench::{
             campaign_suite, coll_suite, kernel_suite, sched_suite, BenchReport,
         };
+        // Every report records this, but log it up front too: CI greps the
+        // job output for the resolved path.
+        eprintln!(
+            "kernel dispatch: {} (GREENLA_KERNEL={})",
+            greenla_linalg::simd::resolved(),
+            std::env::var("GREENLA_KERNEL").unwrap_or_else(|_| "auto".into()),
+        );
         let write = |path: &PathBuf, report: &BenchReport| {
             if let Some(dir) = path.parent() {
                 if !dir.as_os_str().is_empty() {

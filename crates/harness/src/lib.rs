@@ -25,6 +25,7 @@ pub mod experiments;
 pub mod output;
 pub mod power_trace;
 pub mod powercap;
+pub mod roofline;
 pub mod run;
 pub mod summary;
 

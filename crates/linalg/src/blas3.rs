@@ -5,9 +5,12 @@
 //! contiguous microkernel-ordered buffers (`A` as `MR`-row micro-panels
 //! scaled by `α`, `B` as `NR`-column micro-panels), and all arithmetic
 //! happens in an unrolled [`crate::tune::MR`]`×`[`crate::tune::NR`]
-//! microkernel whose accumulator tile LLVM keeps in vector registers. Block
-//! sizes come from [`crate::tune::Blocking`]; the microkernel shape is
-//! fixed at compile time.
+//! microkernel. Block sizes come from [`crate::tune::Blocking`]; the
+//! microkernel shape is fixed at compile time, but the microkernel *body*
+//! is runtime-dispatched by [`crate::simd`] (scalar / AVX2+FMA / AVX-512F,
+//! overridable via `GREENLA_KERNEL`); [`dgemm_blocked_path`] pins an
+//! explicit path for tests and benchmarks. [`crate::par`] layers a
+//! column-partitioned multithreaded front end over the same loop nest.
 //!
 //! `dtrsm` is blocked the same way: small diagonal blocks are solved with a
 //! short substitution loop and the (dominant) trailing updates are routed
@@ -21,6 +24,7 @@
 //! in the hottest loop of the workspace.
 
 use crate::block::{BlockMut, BlockRef};
+use crate::simd::{self, KernelPath, KernelSet};
 use crate::tune::{Blocking, MR, NR};
 use std::cell::RefCell;
 
@@ -31,8 +35,39 @@ pub fn dgemm(alpha: f64, a: BlockRef, b: BlockRef, beta: f64, c: BlockMut) {
 }
 
 /// [`dgemm`] with explicit cache-blocking parameters (benchmark sweeps and
-/// autotuning go through here).
+/// autotuning go through here). The microkernel is the process-wide
+/// dispatched one ([`crate::simd::resolved`]).
 pub fn dgemm_blocked(
+    alpha: f64,
+    a: BlockRef,
+    b: BlockRef,
+    beta: f64,
+    c: BlockMut,
+    tune: &Blocking,
+) {
+    dgemm_with(simd::active_kernel_set(), alpha, a, b, beta, c, tune);
+}
+
+/// [`dgemm_blocked`] pinned to an explicit [`KernelPath`], bypassing the
+/// `GREENLA_KERNEL` dispatch — the cross-path property tests and the bench
+/// suite exercise every path in one process through here. Panics when the
+/// CPU cannot execute `path`.
+pub fn dgemm_blocked_path(
+    path: KernelPath,
+    alpha: f64,
+    a: BlockRef,
+    b: BlockRef,
+    beta: f64,
+    c: BlockMut,
+    tune: &Blocking,
+) {
+    dgemm_with(simd::kernel_set(path), alpha, a, b, beta, c, tune);
+}
+
+/// The packed loop nest, generic over the dispatched kernel set;
+/// everything above is a thin wrapper choosing `set`.
+pub(crate) fn dgemm_with(
+    set: KernelSet,
     alpha: f64,
     a: BlockRef,
     b: BlockRef,
@@ -78,25 +113,49 @@ pub fn dgemm_blocked(
                     for jr in (0..nb).step_by(NR) {
                         let w = NR.min(nb - jr);
                         let bpan = &bp[(jr / NR) * NR * kb..][..NR * kb];
-                        for ir in (0..mb).step_by(MR) {
+                        let col0 = (jc + jr) * ldc + ic;
+                        let mut ir = 0;
+                        // Full panel pairs prefer the two-panel kernel when
+                        // the path has one (bit-identical to two single
+                        // calls — see `simd::Microkernel2`); partial bottom
+                        // panels always take the single-panel kernel.
+                        while ir + 2 * MR <= mb {
+                            let Some(ukr2) = set.ukr2 else { break };
+                            let apan2 = &ap[(ir / MR) * MR * kb..][..2 * MR * kb];
+                            let mut acc0 = [0.0f64; MR * NR];
+                            let mut acc1 = [0.0f64; MR * NR];
+                            ukr2(kb, apan2, bpan, &mut acc0, &mut acc1);
+                            add_tile(c, col0 + ir, ldc, w, MR, &acc0);
+                            add_tile(c, col0 + ir + MR, ldc, w, MR, &acc1);
+                            ir += 2 * MR;
+                        }
+                        while ir < mb {
                             let h = MR.min(mb - ir);
                             let apan = &ap[(ir / MR) * MR * kb..][..MR * kb];
                             let mut acc = [0.0f64; MR * NR];
-                            microkernel(kb, apan, bpan, &mut acc);
-                            let c0 = (jc + jr) * ldc + ic + ir;
-                            for j in 0..w {
-                                let ccol = &mut c[c0 + j * ldc..][..h];
-                                let atile = &acc[j * MR..][..h];
-                                for i in 0..h {
-                                    ccol[i] += atile[i];
-                                }
-                            }
+                            (set.ukr)(kb, apan, bpan, &mut acc);
+                            add_tile(c, col0 + ir, ldc, w, h, &acc);
+                            ir += MR;
                         }
                     }
                 }
             }
         }
     });
+}
+
+/// Add the valid `h×w` corner of an accumulator tile into `C` at linear
+/// offset `c0` (the microkernels compute full zero-padded tiles; this
+/// write-back clips to the real rows/columns).
+#[inline]
+fn add_tile(c: &mut [f64], c0: usize, ldc: usize, w: usize, h: usize, acc: &[f64; MR * NR]) {
+    for j in 0..w {
+        let ccol = &mut c[c0 + j * ldc..][..h];
+        let atile = &acc[j * MR..][..h];
+        for i in 0..h {
+            ccol[i] += atile[i];
+        }
+    }
 }
 
 /// `C ← β·C` over an `m×n` block (the β = 0 case writes zeros without
@@ -112,28 +171,6 @@ fn scale_columns(c: &mut [f64], m: usize, n: usize, ldc: usize, beta: f64) {
         } else {
             for v in col {
                 *v *= beta;
-            }
-        }
-    }
-}
-
-/// The register microkernel: `acc[j·MR + i] += Ap[p·MR + i] · Bp[p·NR + j]`
-/// over the packed micro-panels. `MR`/`NR` are compile-time constants and
-/// the panel rows are fixed-size arrays, so LLVM fully unrolls the tile and
-/// vectorises the row dimension; the 8×8 `f64` accumulator block fills the
-/// 16-register AVX2 file (8 zmm registers under AVX-512) — enough
-/// independent FMA chains to hide the FMA latency. Pure safe code — no
-/// intrinsics needed.
-#[inline(always)]
-fn microkernel(kb: usize, apan: &[f64], bpan: &[f64], acc: &mut [f64; MR * NR]) {
-    debug_assert!(apan.len() >= kb * MR && bpan.len() >= kb * NR);
-    for p in 0..kb {
-        let av: &[f64; MR] = apan[p * MR..p * MR + MR].try_into().unwrap();
-        let bv: &[f64; NR] = bpan[p * NR..p * NR + NR].try_into().unwrap();
-        for j in 0..NR {
-            let bj = bv[j];
-            for i in 0..MR {
-                acc[j * MR + i] += av[i] * bj;
             }
         }
     }
@@ -186,17 +223,34 @@ thread_local! {
     static PACK_SCRATCH: RefCell<(Vec<f64>, Vec<f64>)> = const { RefCell::new((Vec::new(), Vec::new())) };
 }
 
+/// Slack kept at the head of each pack buffer so the panels can start on
+/// a cache-line boundary, in doubles. A `Vec<f64>` is only guaranteed
+/// 16-byte alignment, and a packed micro-panel row is `MR = 8` doubles =
+/// exactly one 64-byte line — so with an unaligned base every panel load
+/// straddles two lines, which measured as a stable ~1.6× throughput swing
+/// (allocation-dependent, so it flipped between whole process runs).
+const PACK_ALIGN: usize = 8;
+
+/// Elements to skip from `p` to the next 64-byte boundary.
+fn cache_align_offset(p: *const f64) -> usize {
+    let off = p.align_offset(64);
+    debug_assert!(off < PACK_ALIGN);
+    off
+}
+
 fn with_pack_scratch(a_len: usize, b_len: usize, f: impl FnOnce(&mut [f64], &mut [f64])) {
     PACK_SCRATCH.with(|cell| {
         let mut s = cell.borrow_mut();
         let (ap, bp) = &mut *s;
-        if ap.len() < a_len {
-            ap.resize(a_len, 0.0);
+        if ap.len() < a_len + PACK_ALIGN {
+            ap.resize(a_len + PACK_ALIGN, 0.0);
         }
-        if bp.len() < b_len {
-            bp.resize(b_len, 0.0);
+        if bp.len() < b_len + PACK_ALIGN {
+            bp.resize(b_len + PACK_ALIGN, 0.0);
         }
-        f(&mut ap[..a_len], &mut bp[..b_len]);
+        let a_off = cache_align_offset(ap.as_ptr());
+        let b_off = cache_align_offset(bp.as_ptr());
+        f(&mut ap[a_off..a_off + a_len], &mut bp[b_off..b_off + b_len]);
     });
 }
 
@@ -250,7 +304,7 @@ pub fn dgemm_reference(alpha: f64, a: BlockRef, b: BlockRef, beta: f64, mut c: B
 /// runs on `TRSM_BLOCK`-row diagonal blocks and everything below/above is a
 /// packed-GEMM update, so ~`1 − TRSM_BLOCK/m` of the flops go through the
 /// microkernel.
-const TRSM_BLOCK: usize = 64;
+pub const TRSM_BLOCK: usize = 64;
 
 /// `B ← L⁻¹·B` where `L` is the unit lower triangle of the leading `m × m`
 /// block of `a`; `B` is `m × n`. (LAPACK `dtrsm('L','L','N','U')`.)

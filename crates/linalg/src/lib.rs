@@ -1,4 +1,4 @@
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 //! # greenla-linalg
 //!
 //! Dense linear-algebra substrate for the `greenla` workspace: a column-major
@@ -9,6 +9,11 @@
 //!
 //! Everything is `f64`; all kernels are deterministic and allocation-free on
 //! the hot path so higher layers can account flops and bytes exactly.
+//!
+//! `unsafe` is denied crate-wide with exactly one carve-out: the [`simd`]
+//! dispatch module, whose `#[target_feature]` microkernels are the only
+//! intrinsic code in the workspace's numerics (every `unsafe` block there
+//! carries a SAFETY note and greenla-lint GL001/GL006 audit the shape).
 
 pub mod blas1;
 pub mod blas2;
@@ -19,7 +24,10 @@ pub mod generate;
 pub mod io;
 pub mod matrix;
 pub mod norms;
+pub mod par;
 pub mod permutation;
+#[allow(unsafe_code)]
+pub mod simd;
 pub mod tune;
 
 pub use block::{BlockMut, BlockRef};

@@ -1,0 +1,492 @@
+//! Runtime-dispatched SIMD microkernels for the packed Level-3 BLAS.
+//!
+//! The packed [`crate::blas3`] loop nest is ISA-agnostic: all arithmetic
+//! funnels through one `MR×NR` register microkernel operating on the
+//! packed micro-panels. This module owns every implementation of that
+//! microkernel — the portable scalar loop (the bit-exact oracle the
+//! property tests compare against), an explicit AVX2+FMA kernel, and an
+//! AVX-512F kernel — plus the **dispatch** that picks one at runtime.
+//!
+//! Dispatch is resolved **once per process** (cached in a [`OnceLock`])
+//! from the `GREENLA_KERNEL` environment variable:
+//!
+//! | value                | effect |
+//! |----------------------|--------|
+//! | `auto` *(or unset)*  | best path the CPU supports (AVX-512F → AVX2+FMA → scalar) |
+//! | `scalar`             | force the portable scalar microkernel |
+//! | `avx2`               | force AVX2+FMA; **panics** if the CPU lacks it |
+//! | `avx512`             | force AVX-512F; **panics** if the CPU lacks it |
+//!
+//! Forcing an unsupported path panics instead of silently falling back so
+//! a CI matrix job that requests `avx2` can never green-light the scalar
+//! path by accident. Every kernel is also reachable explicitly through
+//! [`microkernel`] (used by `dgemm_blocked_path` and the cross-path
+//! property tests), which performs the same support check.
+//!
+//! The `#[target_feature]` functions themselves are `unsafe fn`s private
+//! to this module (greenla-lint GL006 enforces exactly that shape): the
+//! only way to obtain one is through the dispatch functions here, which
+//! verify CPU support first — that verification is the safety argument
+//! the safe wrapper entries rely on.
+
+use crate::tune::{MR, NR};
+use std::fmt;
+use std::sync::OnceLock;
+
+/// A microkernel: `acc[j·MR + i] += Ap[p·MR + i] · Bp[p·NR + j]` over `kb`
+/// packed sliver pairs. All implementations share this exact contract —
+/// zero-padded partial panels included — so the surrounding loop nest
+/// never branches on the active ISA.
+pub type Microkernel = fn(kb: usize, apan: &[f64], bpan: &[f64], acc: &mut [f64; MR * NR]);
+
+/// A two-panel microkernel: consumes two *adjacent* packed `A`
+/// micro-panels (`apan2[..kb·MR]` and `apan2[kb·MR..2·kb·MR]`) against one
+/// `B` micro-panel, updating both accumulator tiles in a single pass over
+/// the `B` sliver. On AVX-512 the 16×8 tile fits in 16 of the 32 `zmm`
+/// registers and halves the `B`-broadcast traffic per flop, turning the
+/// load-bound 8×8 kernel FMA-bound. Each element's FMA chain is identical
+/// to the single-panel kernel's, so results are bit-identical to two
+/// consecutive [`Microkernel`] calls on the same path.
+pub type Microkernel2 = fn(
+    kb: usize,
+    apan2: &[f64],
+    bpan: &[f64],
+    acc0: &mut [f64; MR * NR],
+    acc1: &mut [f64; MR * NR],
+);
+
+/// The kernels one dispatched path provides: the mandatory single-panel
+/// microkernel plus an optional two-panel variant the loop nest prefers
+/// for full panel pairs. Paths without a profitable pair variant (scalar —
+/// LLVM already keeps the 8×8 tile in registers; AVX2 — 16 `ymm`s cannot
+/// hold a 16×8 tile) leave it `None`.
+#[derive(Clone, Copy)]
+pub struct KernelSet {
+    pub ukr: Microkernel,
+    pub ukr2: Option<Microkernel2>,
+}
+
+/// The selectable microkernel implementations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KernelPath {
+    /// Portable scalar loop; LLVM autovectorises it, and it is the
+    /// bit-exact oracle (no FMA contraction) for the property tests.
+    Scalar,
+    /// Explicit AVX2 + FMA: the 8×8 tile as two 8×4 half-tiles of eight
+    /// `ymm` accumulators each.
+    Avx2,
+    /// Explicit AVX-512F: eight `zmm` accumulators, one full column each.
+    Avx512,
+}
+
+impl KernelPath {
+    /// Stable lowercase label (`scalar` / `avx2` / `avx512`) — the same
+    /// spelling `GREENLA_KERNEL` accepts and `BenchReport.kernel_path`
+    /// records.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelPath::Scalar => "scalar",
+            KernelPath::Avx2 => "avx2",
+            KernelPath::Avx512 => "avx512",
+        }
+    }
+
+    /// Parse a label back into a path (`auto` is not a path; it is
+    /// resolved by [`resolved`]).
+    pub fn parse(s: &str) -> Option<KernelPath> {
+        match s {
+            "scalar" => Some(KernelPath::Scalar),
+            "avx2" => Some(KernelPath::Avx2),
+            "avx512" => Some(KernelPath::Avx512),
+            _ => None,
+        }
+    }
+
+    /// Does the executing CPU support this path?
+    pub fn supported(self) -> bool {
+        match self {
+            KernelPath::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            KernelPath::Avx2 => {
+                std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("fma")
+            }
+            #[cfg(target_arch = "x86_64")]
+            KernelPath::Avx512 => std::arch::is_x86_feature_detected!("avx512f"),
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+
+    /// Is this a vector (non-scalar) path?
+    pub fn is_simd(self) -> bool {
+        self != KernelPath::Scalar
+    }
+}
+
+impl fmt::Display for KernelPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Best path the executing CPU supports (what `auto` resolves to).
+pub fn best_supported() -> KernelPath {
+    [KernelPath::Avx512, KernelPath::Avx2]
+        .into_iter()
+        .find(|p| p.supported())
+        .unwrap_or(KernelPath::Scalar)
+}
+
+/// The dispatched kernel path for this process: `GREENLA_KERNEL` if set,
+/// otherwise the best supported path. Resolved once and cached; a forced
+/// path the CPU cannot execute panics with a diagnostic naming both.
+pub fn resolved() -> KernelPath {
+    static RESOLVED: OnceLock<KernelPath> = OnceLock::new();
+    *RESOLVED.get_or_init(|| match std::env::var("GREENLA_KERNEL") {
+        Err(_) => best_supported(),
+        Ok(v) if v == "auto" || v.is_empty() => best_supported(),
+        Ok(v) => {
+            let path = KernelPath::parse(&v).unwrap_or_else(|| {
+                panic!("GREENLA_KERNEL must be scalar|avx2|avx512|auto, got `{v}`")
+            });
+            assert!(
+                path.supported(),
+                "GREENLA_KERNEL={v} forced, but this CPU does not support the {v} \
+                 microkernel (use `auto` to pick the best supported path)"
+            );
+            path
+        }
+    })
+}
+
+/// The microkernel for `path`. Panics when the CPU cannot execute it —
+/// this check is what makes the returned function pointer safe to call.
+pub fn microkernel(path: KernelPath) -> Microkernel {
+    assert!(
+        path.supported(),
+        "kernel path {path} is not supported by this CPU"
+    );
+    match path {
+        KernelPath::Scalar => microkernel_scalar,
+        #[cfg(target_arch = "x86_64")]
+        KernelPath::Avx2 => microkernel_avx2_entry,
+        #[cfg(target_arch = "x86_64")]
+        KernelPath::Avx512 => microkernel_avx512_entry,
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => unreachable!("non-scalar paths are never supported off x86_64"),
+    }
+}
+
+/// The microkernel the dispatcher picked for this process.
+pub fn active_microkernel() -> Microkernel {
+    microkernel(resolved())
+}
+
+/// The full kernel set for `path` (same support check as [`microkernel`]).
+pub fn kernel_set(path: KernelPath) -> KernelSet {
+    let ukr = microkernel(path);
+    let ukr2 = match path {
+        #[cfg(target_arch = "x86_64")]
+        KernelPath::Avx512 => Some(microkernel_avx512_x2_entry as Microkernel2),
+        _ => None,
+    };
+    KernelSet { ukr, ukr2 }
+}
+
+/// The kernel set the dispatcher picked for this process.
+pub fn active_kernel_set() -> KernelSet {
+    kernel_set(resolved())
+}
+
+/// The portable scalar microkernel: `MR`/`NR` are compile-time constants
+/// and the panel rows are fixed-size arrays, so LLVM fully unrolls the
+/// tile and vectorises the row dimension. Kept as the bit-exact oracle:
+/// it performs separate multiply and add (no FMA contraction), so its
+/// results are reproducible on every ISA and toolchain.
+pub fn microkernel_scalar(kb: usize, apan: &[f64], bpan: &[f64], acc: &mut [f64; MR * NR]) {
+    debug_assert!(apan.len() >= kb * MR && bpan.len() >= kb * NR);
+    for p in 0..kb {
+        let av: &[f64; MR] = apan[p * MR..p * MR + MR].try_into().unwrap();
+        let bv: &[f64; NR] = bpan[p * NR..p * NR + NR].try_into().unwrap();
+        for j in 0..NR {
+            let bj = bv[j];
+            for i in 0..MR {
+                acc[j * MR + i] += av[i] * bj;
+            }
+        }
+    }
+}
+
+/// Safe entry for the AVX2 kernel, handed out only by [`microkernel`].
+#[cfg(target_arch = "x86_64")]
+fn microkernel_avx2_entry(kb: usize, apan: &[f64], bpan: &[f64], acc: &mut [f64; MR * NR]) {
+    debug_assert!(KernelPath::Avx2.supported());
+    // SAFETY: this entry is only reachable through `microkernel`, which
+    // panics unless `is_x86_feature_detected!` confirmed avx2+fma; the
+    // kernel's own slice-bounds contract is asserted inside.
+    unsafe { microkernel_avx2(kb, apan, bpan, acc) }
+}
+
+/// Safe entry for the AVX-512F kernel, handed out only by [`microkernel`].
+#[cfg(target_arch = "x86_64")]
+fn microkernel_avx512_entry(kb: usize, apan: &[f64], bpan: &[f64], acc: &mut [f64; MR * NR]) {
+    debug_assert!(KernelPath::Avx512.supported());
+    // SAFETY: this entry is only reachable through `microkernel`, which
+    // panics unless `is_x86_feature_detected!` confirmed avx512f; the
+    // kernel's own slice-bounds contract is asserted inside.
+    unsafe { microkernel_avx512(kb, apan, bpan, acc) }
+}
+
+/// Safe entry for the two-panel AVX-512F kernel, handed out only by
+/// [`kernel_set`].
+#[cfg(target_arch = "x86_64")]
+fn microkernel_avx512_x2_entry(
+    kb: usize,
+    apan2: &[f64],
+    bpan: &[f64],
+    acc0: &mut [f64; MR * NR],
+    acc1: &mut [f64; MR * NR],
+) {
+    debug_assert!(KernelPath::Avx512.supported());
+    // SAFETY: this entry is only reachable through `kernel_set`, which
+    // goes through `microkernel`'s support panic for the same path first;
+    // the kernel's own slice-bounds contract is asserted inside.
+    unsafe { microkernel_avx512_x2(kb, apan2, bpan, acc0, acc1) }
+}
+
+/// AVX2 + FMA microkernel. The 8×8 `f64` accumulator tile would need all
+/// sixteen `ymm` registers by itself, starving the operand loads, so the
+/// tile is computed as two 8×4 half-tiles: eight accumulator `ymm`s, two
+/// `A`-sliver loads and one broadcast live at a time (11 of 16
+/// registers), with the `A` panel re-read once per half from L1.
+///
+/// Unlike the scalar oracle this contracts multiply-add into FMA, so
+/// results differ from [`microkernel_scalar`] by at most the documented
+/// ulp tolerance (see `tests/kernel_dispatch.rs`), never bit-exactly.
+///
+/// # Safety
+///
+/// Dispatch contract: the caller must have verified `avx2` and `fma` via
+/// `is_x86_feature_detected!` (the [`microkernel`] dispatcher is the only
+/// caller and does exactly that). `apan`/`bpan` must hold at least
+/// `kb·MR` / `kb·NR` elements — asserted below, so the raw loads stay in
+/// bounds.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn microkernel_avx2(kb: usize, apan: &[f64], bpan: &[f64], acc: &mut [f64; MR * NR]) {
+    use std::arch::x86_64::*;
+    assert!(apan.len() >= kb * MR && bpan.len() >= kb * NR);
+    // SAFETY: every pointer below stays inside `apan[..kb*MR]`,
+    // `bpan[..kb*NR]` or `acc[..MR*NR]` (asserted above; `boff + j < NR`
+    // and the store columns cover `(boff+j)*MR + 0..8` with
+    // `boff + j ≤ 7`). Unaligned load/store intrinsics are used
+    // throughout, so no alignment obligation exists.
+    unsafe {
+        let ap = apan.as_ptr();
+        let bp = bpan.as_ptr();
+        for half in 0..2 {
+            let boff = half * 4;
+            let mut cc = [_mm256_setzero_pd(); 8];
+            for p in 0..kb {
+                let a0 = _mm256_loadu_pd(ap.add(p * MR));
+                let a1 = _mm256_loadu_pd(ap.add(p * MR + 4));
+                for j in 0..4 {
+                    let b = _mm256_broadcast_sd(&*bp.add(p * NR + boff + j));
+                    cc[2 * j] = _mm256_fmadd_pd(a0, b, cc[2 * j]);
+                    cc[2 * j + 1] = _mm256_fmadd_pd(a1, b, cc[2 * j + 1]);
+                }
+            }
+            for j in 0..4 {
+                let col = acc.as_mut_ptr().add((boff + j) * MR);
+                _mm256_storeu_pd(col, _mm256_add_pd(_mm256_loadu_pd(col), cc[2 * j]));
+                let hi = col.add(4);
+                _mm256_storeu_pd(hi, _mm256_add_pd(_mm256_loadu_pd(hi), cc[2 * j + 1]));
+            }
+        }
+    }
+}
+
+/// AVX-512F microkernel: one `zmm` register holds a full `MR = 8` column
+/// of the accumulator tile, so the whole 8×8 tile is eight `zmm`
+/// accumulators — eight independent FMA chains, enough to cover the FMA
+/// latency on two 512-bit ports — plus one `A`-sliver load and one
+/// broadcast per column update (10 of 32 registers).
+///
+/// Same FMA-contraction caveat as the AVX2 kernel: agreement with the
+/// scalar oracle is within the documented ulp tolerance, not bit-exact.
+///
+/// # Safety
+///
+/// Dispatch contract: the caller must have verified `avx512f` via
+/// `is_x86_feature_detected!` (the [`microkernel`] dispatcher is the only
+/// caller and does exactly that). `apan`/`bpan` must hold at least
+/// `kb·MR` / `kb·NR` elements — asserted below, so the raw loads stay in
+/// bounds.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn microkernel_avx512(kb: usize, apan: &[f64], bpan: &[f64], acc: &mut [f64; MR * NR]) {
+    use std::arch::x86_64::*;
+    assert!(apan.len() >= kb * MR && bpan.len() >= kb * NR);
+    // SAFETY: every pointer below stays inside `apan[..kb*MR]`,
+    // `bpan[..kb*NR]` or `acc[..MR*NR]` (asserted above; `j < NR = 8` and
+    // each store covers `j*MR + 0..8`). Unaligned load/store intrinsics
+    // are used throughout, so no alignment obligation exists.
+    unsafe {
+        let ap = apan.as_ptr();
+        let bp = bpan.as_ptr();
+        let mut cc = [_mm512_setzero_pd(); NR];
+        for p in 0..kb {
+            let a = _mm512_loadu_pd(ap.add(p * MR));
+            for (j, c) in cc.iter_mut().enumerate() {
+                let b = _mm512_set1_pd(*bp.add(p * NR + j));
+                *c = _mm512_fmadd_pd(a, b, *c);
+            }
+        }
+        for (j, &c) in cc.iter().enumerate() {
+            let col = acc.as_mut_ptr().add(j * MR);
+            _mm512_storeu_pd(col, _mm512_add_pd(_mm512_loadu_pd(col), c));
+        }
+    }
+}
+
+/// Two-panel AVX-512F microkernel (see [`Microkernel2`]): a 16×8 tile as
+/// sixteen `zmm` accumulators, fed by two `A`-sliver loads and eight
+/// broadcasts per `p` — 16 FMAs per 10 loads, so the FMA ports rather than
+/// the load ports bound throughput. Per element, the FMA chain order is
+/// exactly [`microkernel_avx512`]'s, keeping the avx512 path's results
+/// independent of whether the pair variant ran.
+///
+/// # Safety
+///
+/// Dispatch contract: the caller must have verified `avx512f` via
+/// `is_x86_feature_detected!` (the [`kernel_set`] dispatcher is the only
+/// caller and does exactly that). `apan2`/`bpan` must hold at least
+/// `2·kb·MR` / `kb·NR` elements — asserted below, so the raw loads stay in
+/// bounds.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn microkernel_avx512_x2(
+    kb: usize,
+    apan2: &[f64],
+    bpan: &[f64],
+    acc0: &mut [f64; MR * NR],
+    acc1: &mut [f64; MR * NR],
+) {
+    use std::arch::x86_64::*;
+    assert!(apan2.len() >= 2 * kb * MR && bpan.len() >= kb * NR);
+    // SAFETY: every pointer below stays inside `apan2[..2·kb·MR]`,
+    // `bpan[..kb·NR]` or the two accumulator tiles (asserted above;
+    // `j < NR = 8` and each store covers `j*MR + 0..8`). Unaligned
+    // load/store intrinsics are used throughout, so no alignment
+    // obligation exists.
+    unsafe {
+        let ap0 = apan2.as_ptr();
+        let ap1 = apan2.as_ptr().add(kb * MR);
+        let bp = bpan.as_ptr();
+        let mut c0 = [_mm512_setzero_pd(); NR];
+        let mut c1 = [_mm512_setzero_pd(); NR];
+        for p in 0..kb {
+            let a0 = _mm512_loadu_pd(ap0.add(p * MR));
+            let a1 = _mm512_loadu_pd(ap1.add(p * MR));
+            for j in 0..NR {
+                let b = _mm512_set1_pd(*bp.add(p * NR + j));
+                c0[j] = _mm512_fmadd_pd(a0, b, c0[j]);
+                c1[j] = _mm512_fmadd_pd(a1, b, c1[j]);
+            }
+        }
+        for j in 0..NR {
+            let col = acc0.as_mut_ptr().add(j * MR);
+            _mm512_storeu_pd(col, _mm512_add_pd(_mm512_loadu_pd(col), c0[j]));
+            let col = acc1.as_mut_ptr().add(j * MR);
+            _mm512_storeu_pd(col, _mm512_add_pd(_mm512_loadu_pd(col), c1[j]));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn panels(kb: usize) -> (Vec<f64>, Vec<f64>) {
+        let apan: Vec<f64> = (0..kb * MR).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+        let bpan: Vec<f64> = (0..kb * NR).map(|i| ((i * 5) % 11) as f64 - 5.0).collect();
+        (apan, bpan)
+    }
+
+    fn run(path: KernelPath, kb: usize) -> [f64; MR * NR] {
+        let (apan, bpan) = panels(kb);
+        let mut acc = [0.0; MR * NR];
+        microkernel(path)(kb, &apan, &bpan, &mut acc);
+        acc
+    }
+
+    #[test]
+    fn scalar_is_always_supported_and_correct() {
+        let kb = 17;
+        let (apan, bpan) = panels(kb);
+        let acc = run(KernelPath::Scalar, kb);
+        for j in 0..NR {
+            for i in 0..MR {
+                let want: f64 = (0..kb).map(|p| apan[p * MR + i] * bpan[p * NR + j]).sum();
+                assert_eq!(acc[j * MR + i], want, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn simd_paths_match_scalar_within_ulp_tolerance() {
+        // Integer-valued panels: products and partial sums stay exactly
+        // representable, so supported SIMD paths must agree exactly here;
+        // the fractional-input ulp bound lives in tests/kernel_dispatch.rs.
+        for kb in [1, 2, 7, 64] {
+            let want = run(KernelPath::Scalar, kb);
+            for path in [KernelPath::Avx2, KernelPath::Avx512] {
+                if !path.supported() {
+                    continue;
+                }
+                assert_eq!(run(path, kb), want, "{path} kb={kb}");
+            }
+        }
+    }
+
+    #[test]
+    fn kb_zero_accumulates_nothing() {
+        for path in [KernelPath::Scalar, KernelPath::Avx2, KernelPath::Avx512] {
+            if !path.supported() {
+                continue;
+            }
+            let mut acc = [3.5; MR * NR];
+            microkernel(path)(0, &[], &[], &mut acc);
+            assert!(acc.iter().all(|&v| v == 3.5), "{path}");
+        }
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for path in [KernelPath::Scalar, KernelPath::Avx2, KernelPath::Avx512] {
+            assert_eq!(KernelPath::parse(path.label()), Some(path));
+        }
+        assert_eq!(KernelPath::parse("auto"), None);
+        assert_eq!(KernelPath::parse("neon"), None);
+    }
+
+    #[test]
+    fn resolved_is_a_supported_path() {
+        let path = resolved();
+        assert!(path.supported());
+        // Cached: a second call answers identically.
+        assert_eq!(resolved(), path);
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported")]
+    fn requesting_an_unsupported_kernel_panics() {
+        // avx512 requires avx512f; when this CPU has it, fall back to
+        // exercising the message through a pretend-unsupported arch path.
+        if KernelPath::Avx512.supported() {
+            panic!("kernel path avx512 is not supported (skip: CPU has avx512f)");
+        }
+        microkernel(KernelPath::Avx512);
+    }
+}

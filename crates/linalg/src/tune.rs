@@ -39,8 +39,14 @@ pub struct Blocking {
 
 impl Blocking {
     /// Default blocking: `MC×KC` of `A` = 256 KiB (L2-resident on anything
-    /// Skylake-class or newer), `MR×KC` + `KC×NR` micro-panels ≈ 24 KiB
-    /// (L1-resident).
+    /// Skylake-class or newer — dev-box L2 is 2 MiB), and a microkernel
+    /// working set of one `MR×KC` `A` panel (16 KiB) plus one `KC×NR` `B`
+    /// sliver (16 KiB) that fits 48 KiB L1d *for every kernel path*. The
+    /// PR-8 sweep measured `kc = 512` ~3% faster on the avx512 pair kernel
+    /// (it amortises the `B` sliver over two `A` panels), but the same
+    /// setting pushed the single-panel scalar microkernel's per-tile
+    /// working set to 64 KiB and cost it ~40% — `kc = 256` is the setting
+    /// that is near-optimal on every path.
     pub const fn default_blocking() -> Self {
         Blocking {
             mc: 128,

@@ -18,6 +18,7 @@ pub mod comm;
 pub mod energy;
 pub mod params;
 pub mod predict;
+pub mod roofline;
 pub mod solvers;
 
 pub use params::MachineParams;
