@@ -176,7 +176,7 @@ pub fn parse_stable_diagnostics(ctx: &FileCtx) -> Vec<String> {
 }
 
 /// GL004 (workspace half): every stable-diagnostic entry must appear in
-/// at least one string literal of the runtime sources (mpi, check,
+/// at least one string literal of the runtime sources (mpi, check, cg,
 /// harness). A dead entry means the battery asserts a diagnostic nothing
 /// can produce — usually a sign the source string drifted.
 fn gl004_dead_entries(ctxs: &[FileCtx], stable: &[String]) -> Vec<Finding> {
@@ -189,6 +189,7 @@ fn gl004_dead_entries(ctxs: &[FileCtx], stable: &[String]) -> Vec<Finding> {
         .filter(|c| {
             (c.rel_path.starts_with("crates/mpi/src/")
                 || c.rel_path.starts_with("crates/check/src/")
+                || c.rel_path.starts_with("crates/cg/src/")
                 || c.rel_path.starts_with("crates/harness/src/"))
                 && c.rel_path != STABLE_DIAGNOSTICS_FILE
         })

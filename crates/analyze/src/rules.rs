@@ -43,6 +43,7 @@ pub const SIM_CRATES: &[&str] = &[
     "mpi",
     "ime",
     "scalapack",
+    "cg",
     "monitor",
     "rapl",
     "model",
@@ -170,7 +171,9 @@ pub fn check_file(ctx: &FileCtx, stable: &[String]) -> Vec<Finding> {
         gl003_virtual_time_purity(ctx, &mut out);
     }
     if !stable.is_empty()
-        && (in_crate_src(&ctx.rel_path, "mpi") || in_crate_src(&ctx.rel_path, "harness"))
+        && (in_crate_src(&ctx.rel_path, "mpi")
+            || in_crate_src(&ctx.rel_path, "harness")
+            || in_crate_src(&ctx.rel_path, "cg"))
     {
         gl004_stable_diagnostics(ctx, stable, &mut out);
     }

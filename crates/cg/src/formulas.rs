@@ -1,0 +1,145 @@
+//! Closed-form per-rank flop and DRAM-byte costs of the CG recurrence —
+//! the single source both the solver's `compute` charges and the roofline
+//! predictions draw from (mirroring `greenla_ime::formulas` on the dense
+//! side). Byte counts are stream counts × 8·rows: every BLAS1 operand
+//! read or written once per sweep, plus the CSR SpMV traffic from
+//! [`greenla_linalg::flops::spmv_csr_bytes`]'s layout model extended with
+//! the halo slice of the gathered vector.
+
+use greenla_linalg::flops;
+
+/// A charge against the simulated core: flops plus DRAM bytes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IterCost {
+    pub flops: u64,
+    pub bytes: u64,
+}
+
+impl IterCost {
+    pub fn plus(self, other: IterCost) -> IterCost {
+        IterCost {
+            flops: self.flops + other.flops,
+            bytes: self.bytes + other.bytes,
+        }
+    }
+
+    pub fn times(self, k: u64) -> IterCost {
+        IterCost {
+            flops: self.flops * k,
+            bytes: self.bytes * k,
+        }
+    }
+}
+
+/// One local row-block SpMV: a multiply-add per stored entry; bytes are
+/// the block's values + `u32` column indices (12·nnz), its row pointers
+/// (8·(rows+1)), the owned plus halo slices of the gathered vector
+/// (8·(rows + halo_in)) and the result write (8·rows).
+pub fn spmv_block_cost(rows: usize, nnz: usize, halo_in: usize) -> IterCost {
+    IterCost {
+        flops: flops::spmv(nnz),
+        bytes: 12 * nnz as u64
+            + 8 * (rows as u64 + 1)
+            + 8 * (rows + halo_in) as u64
+            + 8 * rows as u64,
+    }
+}
+
+/// The BLAS1 sweep of one CG iteration over a rank's `rows`-long vector
+/// slices: three dot products (`p·q`, `r·z`, `r·r`), two axpys
+/// (`x += α·p`, `r −= α·q`), the preconditioner application
+/// (`z = M⁻¹·r`: a multiply under Jacobi, a copy otherwise) and the
+/// direction update `p = z + β·p`. 12 flops per row (+1 for Jacobi);
+/// 17 operand streams (16 unpreconditioned — the copy reads one stream
+/// fewer than the multiply).
+pub fn blas1_iter_cost(rows: usize, jacobi: bool) -> IterCost {
+    let r = rows as u64;
+    IterCost {
+        flops: 12 * r + if jacobi { r } else { 0 },
+        bytes: 8 * r * if jacobi { 17 } else { 16 },
+    }
+}
+
+/// Everything one steady-state CG iteration charges locally: the block
+/// SpMV plus the BLAS1 sweep. (The two reductions and the halo exchange
+/// are communication, counted by `greenla_model::comm`.)
+pub fn cg_iter_cost(rows: usize, nnz: usize, halo_in: usize, jacobi: bool) -> IterCost {
+    spmv_block_cost(rows, nnz, halo_in).plus(blas1_iter_cost(rows, jacobi))
+}
+
+/// Setup before the first iteration: `r = b` (copy, 2 streams),
+/// `z = M⁻¹·r` (3 streams under Jacobi, 2 for the copy), `p = z` (2
+/// streams) and the two seed dot products `r·z`, `r·r` (4 flops/row,
+/// 3 streams).
+pub fn cg_setup_cost(rows: usize, jacobi: bool) -> IterCost {
+    let r = rows as u64;
+    IterCost {
+        flops: 4 * r + if jacobi { r } else { 0 },
+        bytes: 8 * r * if jacobi { 10 } else { 9 },
+    }
+}
+
+/// A true-residual refresh: one extra block SpMV (`A·x`) plus
+/// `r = b − A·x` (one flop per row, 3 streams).
+pub fn cg_refresh_cost(rows: usize, nnz: usize, halo_in: usize) -> IterCost {
+    spmv_block_cost(rows, nnz, halo_in).plus(IterCost {
+        flops: rows as u64,
+        bytes: 24 * rows as u64,
+    })
+}
+
+/// Whole-solve local cost for a rank: setup + `iters` iterations +
+/// `refreshes` true-residual refreshes.
+pub fn cg_solve_cost(
+    rows: usize,
+    nnz: usize,
+    halo_in: usize,
+    jacobi: bool,
+    iters: u64,
+    refreshes: u64,
+) -> IterCost {
+    cg_setup_cost(rows, jacobi)
+        .plus(cg_iter_cost(rows, nnz, halo_in, jacobi).times(iters))
+        .plus(cg_refresh_cost(rows, nnz, halo_in).times(refreshes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_flops_are_spmv_plus_5n_blas1_ops() {
+        // 2·nnz (SpMV) + 3 dots (6n) + 2 axpys (4n) + xpay (2n) = 2·nnz + 12n.
+        let c = cg_iter_cost(100, 480, 10, false);
+        assert_eq!(c.flops, 2 * 480 + 12 * 100);
+        assert_eq!(cg_iter_cost(100, 480, 10, true).flops, c.flops + 100);
+    }
+
+    #[test]
+    fn spmv_block_cost_reduces_to_the_sequential_byte_model() {
+        // A single rank owning everything with no halo must charge exactly
+        // the sequential closed form.
+        let (n, nnz) = (50, 230);
+        let c = spmv_block_cost(n, nnz, 0);
+        assert_eq!(c.bytes, flops::spmv_csr_bytes(n, nnz));
+        assert_eq!(c.flops, flops::spmv(nnz));
+    }
+
+    #[test]
+    fn empty_rank_charges_only_the_row_pointer_sentinel() {
+        // A rank owning zero rows still reads its one-entry row-pointer
+        // array per SpMV (8 bytes); everything else must vanish.
+        let c = cg_solve_cost(0, 0, 0, true, 10, 2);
+        assert_eq!(c.flops, 0);
+        assert_eq!(c.bytes, (10 + 2) * 8);
+    }
+
+    #[test]
+    fn solve_cost_is_linear_in_iterations() {
+        let per = cg_iter_cost(64, 320, 8, false);
+        let a = cg_solve_cost(64, 320, 8, false, 3, 0);
+        let b = cg_solve_cost(64, 320, 8, false, 4, 0);
+        assert_eq!(b.flops - a.flops, per.flops);
+        assert_eq!(b.bytes - a.bytes, per.bytes);
+    }
+}

@@ -1,0 +1,29 @@
+#![forbid(unsafe_code)]
+//! # greenla-cg
+//!
+//! Conjugate-gradient solver for sparse SPD systems on the `greenla-mpi`
+//! simulated runtime: the memory-bound counterweight to the workspace's
+//! dense solvers, where GFLOP/s sits on the roofline's memory ceiling and
+//! the energy-to-solution ranking inverts.
+//!
+//! The distribution is the textbook 1-D row block: rank `r` owns a
+//! contiguous block of rows (and the matching slices of every vector),
+//! the iterate `p` travels through a pattern-derived halo exchange before
+//! each local SpMV, and the two per-iteration dot-product reductions ride
+//! the size-switching collectives (their 8–16-byte payloads always take
+//! the latency-bound tree pair). Residuals follow the classical
+//! recurrence with a periodic true-residual refresh.
+//!
+//! Every cost the solver charges to the simulator comes from the closed
+//! forms in [`formulas`], and every message it sends is counted by the
+//! closed forms in `greenla_model::comm` — the test battery checks both
+//! message-for-message against the simulator's traffic ledger.
+
+pub mod error;
+pub mod formulas;
+pub mod partition;
+pub mod solver;
+
+pub use error::CgError;
+pub use partition::{HaloPlan, RowBlocks};
+pub use solver::{pcg, CgConfig, CgSolve};

@@ -1,0 +1,186 @@
+//! 1-D row-block partition and the pattern-derived halo-exchange plan.
+//!
+//! Both are pure functions of the (replicated) matrix and the rank count,
+//! so every rank computes identical plans with no negotiation traffic,
+//! and the closed-form traffic models in `greenla_model::comm` can
+//! consume the same [`HaloStats`] the runtime exchange produces —
+//! message-for-message.
+
+use greenla_linalg::sparse::CsrMatrix;
+use std::collections::BTreeMap;
+
+/// Contiguous 1-D row-block partition of `n` rows over `p` ranks: the
+/// first `n mod p` ranks own `⌈n/p⌉` rows, the rest `⌊n/p⌋` (ranks beyond
+/// `n` own nothing).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RowBlocks {
+    n: usize,
+    p: usize,
+}
+
+impl RowBlocks {
+    pub fn new(n: usize, p: usize) -> Self {
+        assert!(p > 0, "no ranks");
+        RowBlocks { n, p }
+    }
+
+    /// First row owned by `rank`.
+    pub fn lo(&self, rank: usize) -> usize {
+        let (base, rem) = (self.n / self.p, self.n % self.p);
+        rank * base + rank.min(rem)
+    }
+
+    /// One past the last row owned by `rank`.
+    pub fn hi(&self, rank: usize) -> usize {
+        self.lo(rank + 1).min(self.n)
+    }
+
+    /// Rows owned by `rank`.
+    pub fn rows(&self, rank: usize) -> usize {
+        self.hi(rank) - self.lo(rank)
+    }
+
+    /// Which rank owns row `i`.
+    pub fn owner(&self, i: usize) -> usize {
+        assert!(i < self.n);
+        let (base, rem) = (self.n / self.p, self.n % self.p);
+        let wide = rem * (base + 1);
+        if i < wide {
+            i / (base + 1)
+        } else {
+            rem + (i - wide) / base
+        }
+    }
+}
+
+/// One rank's halo-exchange plan: which remote vector entries it needs
+/// before a local SpMV, and which of its own entries its peers need.
+/// Peer lists are sorted by rank, index lists ascending — the
+/// deterministic order the exchange and the traffic model both count.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HaloPlan {
+    /// `(peer, global indices)` this rank receives, one message per peer.
+    pub recv: Vec<(usize, Vec<usize>)>,
+    /// `(peer, global indices)` this rank sends, one message per peer.
+    pub send: Vec<(usize, Vec<usize>)>,
+}
+
+impl HaloPlan {
+    /// Plans for every rank, derived from the global sparsity pattern:
+    /// rank `r` needs column `j` iff some row it owns references `j` and
+    /// `j` lives on another rank.
+    pub fn build_all(a: &CsrMatrix, blocks: RowBlocks) -> Vec<HaloPlan> {
+        let p = blocks.p;
+        // needs[(needer, owner)] = sorted global indices.
+        let mut needs: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
+        for r in 0..p {
+            let mut wanted: Vec<usize> = (blocks.lo(r)..blocks.hi(r))
+                .flat_map(|i| a.row(i).0.iter().map(|&j| j as usize))
+                .filter(|&j| blocks.owner(j) != r)
+                .collect();
+            wanted.sort_unstable();
+            wanted.dedup();
+            for j in wanted {
+                needs.entry((r, blocks.owner(j))).or_default().push(j);
+            }
+        }
+        let mut plans = vec![HaloPlan::default(); p];
+        for ((needer, owner), idxs) in needs {
+            plans[needer].recv.push((owner, idxs.clone()));
+            plans[owner].send.push((needer, idxs));
+        }
+        plans
+    }
+
+    /// Elements this rank receives per exchange.
+    pub fn recv_elems(&self) -> usize {
+        self.recv.iter().map(|(_, idxs)| idxs.len()).sum()
+    }
+}
+
+/// Aggregate traffic of one halo exchange across all ranks — exactly what
+/// `greenla_model::comm::cg_iteration_traffic` consumes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HaloStats {
+    /// Directed messages per exchange (one per `(owner, needer)` pair).
+    pub msgs: u64,
+    /// Total elements moved per exchange.
+    pub elems: u64,
+}
+
+impl HaloStats {
+    pub fn of(plans: &[HaloPlan]) -> HaloStats {
+        HaloStats {
+            msgs: plans.iter().map(|pl| pl.recv.len() as u64).sum(),
+            elems: plans.iter().map(|pl| pl.recv_elems() as u64).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greenla_linalg::sparse::{laplace2d, random_spd};
+
+    #[test]
+    fn blocks_tile_the_row_space() {
+        for (n, p) in [(10, 3), (16, 4), (3, 8), (1, 1), (64, 5)] {
+            let b = RowBlocks::new(n, p);
+            let total: usize = (0..p).map(|r| b.rows(r)).sum();
+            assert_eq!(total, n);
+            for i in 0..n {
+                let r = b.owner(i);
+                assert!(b.lo(r) <= i && i < b.hi(r), "n={n} p={p} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn stencil_halo_degenerates_to_neighbour_ring() {
+        // A k×k 5-point Laplacian split into p = k blocks of k rows: each
+        // interior rank needs exactly one grid line (k entries) from each
+        // of its two neighbours — the classic ring exchange.
+        let k = 6;
+        let sys = laplace2d(k);
+        let blocks = RowBlocks::new(sys.n(), k);
+        let plans = HaloPlan::build_all(&sys.a, blocks);
+        for (r, plan) in plans.iter().enumerate() {
+            let peers: Vec<usize> = plan.recv.iter().map(|(pr, _)| *pr).collect();
+            let expect: Vec<usize> = [r.checked_sub(1), (r + 1 < k).then_some(r + 1)]
+                .into_iter()
+                .flatten()
+                .collect();
+            assert_eq!(peers, expect, "rank {r}");
+            assert!(plan.recv.iter().all(|(_, idxs)| idxs.len() == k));
+        }
+        let stats = HaloStats::of(&plans);
+        assert_eq!(stats.msgs, 2 * (k as u64 - 1));
+        assert_eq!(stats.elems, 2 * (k as u64 - 1) * k as u64);
+    }
+
+    #[test]
+    fn send_and_recv_sides_mirror() {
+        let sys = random_spd(40, 5, 9);
+        let blocks = RowBlocks::new(sys.n(), 7);
+        let plans = HaloPlan::build_all(&sys.a, blocks);
+        for (r, plan) in plans.iter().enumerate() {
+            for (peer, idxs) in &plan.recv {
+                let (_, theirs) = plans[*peer]
+                    .send
+                    .iter()
+                    .find(|(to, _)| *to == r)
+                    .expect("matching send");
+                assert_eq!(idxs, theirs);
+                assert!(idxs.iter().all(|&j| blocks.owner(j) == *peer));
+                assert!(idxs.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+            }
+        }
+    }
+
+    #[test]
+    fn single_rank_needs_no_halo() {
+        let sys = laplace2d(4);
+        let plans = HaloPlan::build_all(&sys.a, RowBlocks::new(sys.n(), 1));
+        assert_eq!(HaloStats::of(&plans), HaloStats::default());
+    }
+}

@@ -27,7 +27,9 @@ use greenla_linalg::simd::{self, KernelPath};
 use greenla_linalg::tune::Blocking;
 use greenla_linalg::{flops, Matrix};
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
+
+pub mod retry;
+pub use retry::median_wall;
 
 /// One benchmark's aggregated result.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -42,6 +44,13 @@ pub struct BenchEntry {
     /// flop count exists; `null` otherwise.
     #[serde(default = "no_rate")]
     pub gflops: Option<f64>,
+    /// Achieved DRAM GB/s against the kernel's closed-form byte count —
+    /// the headline rate for memory-bound entries (SpMV, the CG
+    /// iteration), where GFLOP/s understates what the kernel achieves.
+    /// `null` for the compute-bound entries (pre-`gbps` baselines parse
+    /// the same way).
+    #[serde(default = "no_rate")]
+    pub gbps: Option<f64>,
     /// Virtual-time seconds of the simulated run (campaign entries only;
     /// deterministic, so any drift here is a *correctness* signal).
     #[serde(default = "no_rate")]
@@ -105,24 +114,6 @@ impl BenchReport {
     }
 }
 
-/// Median of `reps` timed runs of `f` (wall seconds), preceded by one
-/// untimed warm-up (first-touch page faults and cold caches belong to no
-/// repetition). The list is sorted; even counts take the lower middle so
-/// one fast outlier can't mask a regression.
-pub(crate) fn median_wall(reps: usize, mut f: impl FnMut()) -> f64 {
-    assert!(reps > 0);
-    f();
-    let mut times: Vec<f64> = (0..reps)
-        .map(|_| {
-            let t = Instant::now();
-            f();
-            t.elapsed().as_secs_f64()
-        })
-        .collect();
-    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    times[(times.len() - 1) / 2]
-}
-
 pub(crate) fn test_matrix(n: usize, salt: usize) -> Matrix {
     Matrix::from_fn(n, n, |i, j| ((i * (7 + salt) + j * 13) % 17) as f64 - 8.0)
 }
@@ -153,6 +144,7 @@ pub fn kernel_suite(quick: bool) -> BenchSuite {
             reps,
             median_wall_s: wall,
             gflops: Some(flops::dgemm(n, n, n) as f64 / wall / 1e9),
+            gbps: None,
             virtual_s: None,
         });
     }
@@ -172,6 +164,7 @@ pub fn kernel_suite(quick: bool) -> BenchSuite {
             reps,
             median_wall_s: wall,
             gflops: Some(flops::dgemm(n, n, n) as f64 / wall / 1e9),
+            gbps: None,
             virtual_s: None,
         });
     }
@@ -201,6 +194,7 @@ pub fn kernel_suite(quick: bool) -> BenchSuite {
             reps,
             median_wall_s: wall,
             gflops: Some(flops::dgemm(n, n, n) as f64 / wall / 1e9),
+            gbps: None,
             virtual_s: None,
         });
     }
@@ -221,6 +215,7 @@ pub fn kernel_suite(quick: bool) -> BenchSuite {
             reps,
             median_wall_s: wall,
             gflops: Some(flops::dgemm(n, n, n) as f64 / wall / 1e9),
+            gbps: None,
             virtual_s: None,
         });
         let wall = median_wall(reps, || {
@@ -231,6 +226,7 @@ pub fn kernel_suite(quick: bool) -> BenchSuite {
             reps,
             median_wall_s: wall,
             gflops: Some(flops::dgemm(n, n, n) as f64 / wall / 1e9),
+            gbps: None,
             virtual_s: None,
         });
     }
@@ -264,6 +260,7 @@ pub fn kernel_suite(quick: bool) -> BenchSuite {
             reps,
             median_wall_s: wall,
             gflops: Some(flops::dtrsm(m, nrhs) as f64 / wall / 1e9),
+            gbps: None,
             virtual_s: None,
         });
         let wall = median_wall(reps, || {
@@ -275,6 +272,73 @@ pub fn kernel_suite(quick: bool) -> BenchSuite {
             reps,
             median_wall_s: wall,
             gflops: Some(flops::dtrsm(m, nrhs) as f64 / wall / 1e9),
+            gbps: None,
+            virtual_s: None,
+        });
+    }
+
+    // The sparse pair: CSR SpMV on the million-row 5-point Laplacian (the
+    // CSR image streams DRAM well past any cache) and one unpreconditioned
+    // CG iteration's local arithmetic — the SpMV plus the exact BLAS1
+    // sweep `greenla_cg::formulas::blas1_iter_cost` counts. Both are
+    // memory-bound, so GB/s against the closed-form byte model is the
+    // headline rate and GFLOP/s rides along for the roofline acceptance.
+    {
+        let (k, reps) = (LAPLACE_BENCH_K, if quick { 5 } else { 9 });
+        let s = greenla_linalg::sparse::laplace2d(k);
+        let (n, nnz) = (s.a.n(), s.a.nnz());
+        assert_eq!((n, nnz), laplace2d_shape(k), "closed-form shape drifted");
+        let spmv_flops = flops::spmv(nnz) as f64;
+        let spmv_bytes = flops::spmv_csr_bytes(n, nnz) as f64;
+        let ones = vec![1.0f64; n];
+        let mut y = vec![0.0f64; n];
+        let wall = median_wall(reps, || {
+            s.a.spmv(&ones, &mut y);
+            std::hint::black_box(&mut y);
+        });
+        entries.push(BenchEntry {
+            id: "spmv_2d_6m".into(),
+            reps,
+            median_wall_s: wall,
+            gflops: Some(spmv_flops / wall / 1e9),
+            gbps: Some(spmv_bytes / wall / 1e9),
+            virtual_s: None,
+        });
+
+        let iter = greenla_cg::formulas::cg_iter_cost(n, nnz, 0, false);
+        let mut xv = vec![0.0f64; n];
+        let mut r = s.b.clone();
+        let mut z = r.clone();
+        let mut p = z.clone();
+        let mut q = vec![0.0f64; n];
+        let wall = median_wall(reps, || {
+            // One CG iteration, operation for operation what
+            // `blas1_iter_cost` charges: SpMV, three dots, two axpys, the
+            // identity-preconditioner copy and the direction update.
+            s.a.spmv(&p, &mut q);
+            let pq: f64 = p.iter().zip(&q).map(|(a, b)| a * b).sum();
+            let rz: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+            let alpha = if pq != 0.0 { rz / pq } else { 0.0 };
+            for (xi, pi) in xv.iter_mut().zip(&p) {
+                *xi += alpha * pi;
+            }
+            for (ri, qi) in r.iter_mut().zip(&q) {
+                *ri -= alpha * qi;
+            }
+            let rr: f64 = r.iter().map(|v| v * v).sum();
+            z.copy_from_slice(&r);
+            let beta = if rz != 0.0 { rr / rz } else { 0.0 };
+            for (pi, zi) in p.iter_mut().zip(&z) {
+                *pi = zi + beta * *pi;
+            }
+            std::hint::black_box(&mut p);
+        });
+        entries.push(BenchEntry {
+            id: "cg_iter_2d_6m".into(),
+            reps,
+            median_wall_s: wall,
+            gflops: Some(iter.flops as f64 / wall / 1e9),
+            gbps: Some(iter.bytes as f64 / wall / 1e9),
             virtual_s: None,
         });
     }
@@ -285,30 +349,68 @@ pub fn kernel_suite(quick: bool) -> BenchSuite {
     }
 }
 
+/// Grid edge of the pinned sparse bench entries (`spmv_2d_*`,
+/// `cg_iter_2d_*`): 6.25 million rows, 50 MB per vector. The CG iteration
+/// re-touches five vectors back to back, so the working set must dwarf the
+/// last-level cache (105 MB on the reference runner) or the measured rate
+/// floats above the DRAM roofline ceiling the entries are validated against.
+pub const LAPLACE_BENCH_K: usize = 2500;
+
+/// Closed-form shape of [`greenla_linalg::sparse::laplace2d`]: `k²` rows,
+/// five entries per row minus one per boundary side (`4k` total) — what
+/// `entry_profile` rebuilds the sparse profiles from without materialising
+/// the matrix.
+pub fn laplace2d_shape(k: usize) -> (usize, usize) {
+    (k * k, 5 * k * k - 4 * k)
+}
+
 /// The pinned campaign suite: fixed smoke-scale monitored solves through
 /// the full stack (packed kernels, wakeup scheduler, monitoring protocol).
 /// Wall-clock is the gated metric; the virtual duration rides along as a
 /// determinism canary.
 pub fn campaign_suite(quick: bool) -> BenchSuite {
     let reps = if quick { 5 } else { 9 };
+    // CG runs the Poisson stencil (its n must be a perfect square and the
+    // system SPD); the dense solvers keep the diagonally dominant system
+    // every pre-existing baseline was produced under.
     let configs = [
-        ("ime_n192_p16", SolverChoice::ime_optimized(), 192, 16),
-        ("scalapack_n192_p16", SolverChoice::scalapack(), 192, 16),
+        (
+            "ime_n192_p16",
+            SolverChoice::ime_optimized(),
+            SystemKind::DiagDominant,
+            192,
+            16,
+        ),
+        (
+            "scalapack_n192_p16",
+            SolverChoice::scalapack(),
+            SystemKind::DiagDominant,
+            192,
+            16,
+        ),
+        (
+            "cg_n196_p16",
+            SolverChoice::cg(),
+            SystemKind::Poisson2d,
+            196,
+            16,
+        ),
     ];
     let entries = configs
         .iter()
-        .map(|&(id, solver, n, ranks)| {
+        .map(|&(id, solver, system, n, ranks)| {
             let cfg = RunConfig {
                 n,
                 ranks,
                 layout: LoadLayout::FullLoad,
                 solver,
-                system: SystemKind::DiagDominant,
+                system,
                 cores_per_socket: 8,
                 seed: 42,
                 check: false,
                 faults: None,
                 scheduler: Default::default(),
+                batch: 1,
             };
             let mut virtual_s = 0.0;
             let wall = median_wall(reps, || {
@@ -319,6 +421,7 @@ pub fn campaign_suite(quick: bool) -> BenchSuite {
                 reps,
                 median_wall_s: wall,
                 gflops: None,
+                gbps: None,
                 virtual_s: Some(virtual_s),
             }
         })
@@ -368,6 +471,7 @@ pub fn coll_suite(quick: bool) -> BenchSuite {
             reps,
             median_wall_s: wall,
             gflops: None,
+            gbps: None,
             virtual_s: Some(virtual_s),
         });
     };
@@ -447,6 +551,7 @@ pub fn sched_suite(quick: bool) -> BenchSuite {
             reps,
             median_wall_s: wall,
             gflops: None,
+            gbps: None,
             virtual_s: Some(virtual_s),
         });
     };
@@ -588,6 +693,7 @@ mod tests {
                     reps: 3,
                     median_wall_s: t,
                     gflops: None,
+                    gbps: None,
                     virtual_s: None,
                 })
                 .collect(),
@@ -634,6 +740,14 @@ mod tests {
         let back: BenchReport = serde_json::from_str(&text).unwrap();
         assert_eq!(back.schema, SCHEMA);
         assert_eq!(back.get("campaign", "x").unwrap().median_wall_s, 1.25);
+    }
+
+    #[test]
+    fn laplace2d_shape_matches_the_generator() {
+        for k in [1, 2, 7, 10] {
+            let s = greenla_linalg::sparse::laplace2d(k);
+            assert_eq!(laplace2d_shape(k), (s.a.n(), s.a.nnz()), "k={k}");
+        }
     }
 
     #[test]

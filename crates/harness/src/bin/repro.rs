@@ -2,7 +2,7 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--exp all|table1|fig3|fig4|fig5|fig6|fig7|summary|overhead|powercap|trace|scale]
+//! repro [--exp all|table1|fig3|fig4|fig5|fig6|fig7|summary|overhead|powercap|trace|scale|sparse]
 //!       [--tier functional|model|both]   (default: both)
 //!       [--reps N]                       (default: 3)
 //!       [--smoke]                        (tiny grid for CI)
@@ -149,7 +149,7 @@ fn parse_args() -> Args {
             }
             "--bench-quick" => args.bench_quick = true,
             "--help" | "-h" => {
-                println!("usage: repro [--exp all|table1|fig3..fig7|summary|overhead|powercap|trace|scale] [--tier functional|model|both] [--reps N] [--smoke] [--out DIR] [--trace-out PATH] [--check] [--faults PLAN.json] [--scheduler thread|event] [--ranks P1,P2,...] [--bench-out PATH] [--bench-campaign PATH] [--bench-coll PATH] [--bench-sched PATH] [--bench-baseline PATH] [--bench-quick]");
+                println!("usage: repro [--exp all|table1|fig3..fig7|summary|overhead|powercap|trace|scale|sparse] [--tier functional|model|both] [--reps N] [--smoke] [--out DIR] [--trace-out PATH] [--check] [--faults PLAN.json] [--scheduler thread|event] [--ranks P1,P2,...] [--bench-out PATH] [--bench-campaign PATH] [--bench-coll PATH] [--bench-sched PATH] [--bench-baseline PATH] [--bench-quick]");
                 std::process::exit(0);
             }
             other => {
@@ -511,6 +511,48 @@ fn main() {
             write_json(&args.out, "summary_model.json", &checks).expect("write");
             println!("{}", t.to_text());
         }
+    }
+
+    if wants("sparse") && functional {
+        use greenla_harness::sparse::{self, SparseGrid};
+        let mut grid = if args.smoke {
+            SparseGrid::smoke()
+        } else {
+            SparseGrid::default()
+        };
+        grid.reps = args.reps;
+        eprintln!(
+            "running sparse campaign: dims {:?} × {} ranks × 4 solvers × {} reps",
+            grid.dims, grid.ranks, grid.reps
+        );
+        let (ds, report) = sparse::campaign(&grid, |msg| {
+            eprintln!("  [{:6.1}s] {msg}", t0.elapsed().as_secs_f64())
+        });
+        write_json(&args.out, "sparse_dataset.json", &ds).expect("write sparse dataset");
+        write_json(&args.out, "sparse_campaign.json", &report).expect("write sparse report");
+        let t = sparse::table(&report);
+        write_artifact(&args.out, "sparse.csv", &t.to_csv()).expect("write");
+        println!("{}", t.to_text());
+        for c in &report.checks {
+            println!(
+                "  {} n={}: wall ratio {:.3}, energy ratio {:.3}, {} iters, {:.2} GB/s{}",
+                c.solver,
+                c.n,
+                c.wall_ratio,
+                c.energy_ratio,
+                c.iterations,
+                c.gbps,
+                if c.within_band { "" } else { "  [OUT OF BAND]" }
+            );
+        }
+        if !(report.all_within_band && report.all_memory_bound && report.inversion_holds) {
+            eprintln!(
+                "sparse campaign FAILED: within_band={} memory_bound={} inversion={}",
+                report.all_within_band, report.all_memory_bound, report.inversion_holds
+            );
+            std::process::exit(1);
+        }
+        eprintln!("sparse campaign ok: CG memory-bound, model within ±30%, energy inversion holds");
     }
 
     if wants("powercap") && functional {

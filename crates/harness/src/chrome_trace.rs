@@ -248,6 +248,9 @@ fn run_solve(machine: &Machine, solver: SolverChoice, n: usize, seed: u64) -> f6
                 SolverChoice::ScaLapack { nb } => {
                     pdgesv(ctx, &world, &sys, nb).expect("pdgesv solve");
                 }
+                SolverChoice::Cg { .. } => {
+                    unreachable!("trace figures sweep the dense solvers only")
+                }
             }
             handle.phase(ctx, "execution").expect("phase mark");
         })

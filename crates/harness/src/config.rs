@@ -17,6 +17,9 @@ pub enum SolverChoice {
     },
     /// Block-cyclic LU with partial pivoting.
     ScaLapack { nb: usize },
+    /// Distributed conjugate gradients over the sparse row-block SpMV
+    /// (the system must be SPD; the dense input is sparsified on entry).
+    Cg { jacobi: bool },
 }
 
 impl SolverChoice {
@@ -42,6 +45,14 @@ impl SolverChoice {
         SolverChoice::ScaLapack { nb: 32 }
     }
 
+    pub fn cg() -> Self {
+        SolverChoice::Cg { jacobi: false }
+    }
+
+    pub fn cg_jacobi() -> Self {
+        SolverChoice::Cg { jacobi: true }
+    }
+
     pub fn imep_options(&self) -> Option<ImepOptions> {
         match *self {
             SolverChoice::Ime {
@@ -53,7 +64,7 @@ impl SolverChoice {
                 centralized_h,
                 pipelined_bcast,
             }),
-            SolverChoice::ScaLapack { .. } => None,
+            SolverChoice::ScaLapack { .. } | SolverChoice::Cg { .. } => None,
         }
     }
 
@@ -61,6 +72,8 @@ impl SolverChoice {
         match self {
             SolverChoice::Ime { .. } => "IMe",
             SolverChoice::ScaLapack { .. } => "ScaLAPACK",
+            SolverChoice::Cg { jacobi: false } => "CG",
+            SolverChoice::Cg { jacobi: true } => "CG-Jacobi",
         }
     }
 }
@@ -186,5 +199,7 @@ mod tests {
     fn solver_labels() {
         assert_eq!(SolverChoice::ime_optimized().label(), "IMe");
         assert_eq!(SolverChoice::scalapack().label(), "ScaLAPACK");
+        assert_eq!(SolverChoice::cg().label(), "CG");
+        assert_eq!(SolverChoice::cg_jacobi().label(), "CG-Jacobi");
     }
 }

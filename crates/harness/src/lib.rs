@@ -27,6 +27,7 @@ pub mod power_trace;
 pub mod powercap;
 pub mod roofline;
 pub mod run;
+pub mod sparse;
 pub mod summary;
 
 pub use config::{FunctionalGrid, SolverChoice};

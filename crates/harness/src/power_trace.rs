@@ -54,6 +54,9 @@ pub fn power_trace(
                 SolverChoice::ScaLapack { nb } => {
                     pdgesv(ctx, app, &sys, nb).unwrap();
                 }
+                SolverChoice::Cg { .. } => {
+                    unreachable!("power traces sweep the dense solvers only")
+                }
             },
         )
         .unwrap()

@@ -84,6 +84,9 @@ pub fn sweep(n: usize, ranks: usize, fractions: &[f64], seed: u64) -> Vec<CapPoi
                             solve_imep(ctx, &world, &sys, solver.imep_options().unwrap()).unwrap()
                         }
                         SolverChoice::ScaLapack { nb } => pdgesv(ctx, &world, &sys, nb).unwrap(),
+                        SolverChoice::Cg { .. } => {
+                            unreachable!("the cap sweep covers the dense solvers only")
+                        }
                     }
                 })
                 .unwrap()

@@ -234,7 +234,17 @@ pub fn entry_profile(id: &str, tune: &Blocking) -> Option<KernelProfile> {
             ..KernelProfile::default()
         }
     };
+    // The sparse entries' shapes come from the closed form, not from
+    // materialising the million-row matrix.
+    let (sn, snnz) = crate::bench::laplace2d_shape(crate::bench::LAPLACE_BENCH_K);
     Some(match id {
+        "spmv_2d_6m" => {
+            KernelProfile::sparse(flops::spmv(snnz), flops::spmv_csr_bytes(sn, snnz), 1)
+        }
+        "cg_iter_2d_6m" => {
+            let c = greenla_cg::formulas::cg_iter_cost(sn, snnz, 0, false);
+            KernelProfile::sparse(c.flops, c.bytes, 1)
+        }
         "dgemm_packed_128" => packed(128, 1),
         "dgemm_packed_256" => packed(256, 1),
         "dgemm_packed_512" => packed(512, 1),
@@ -267,7 +277,7 @@ pub struct RooflineCheck {
 
 impl RooflineCheck {
     pub fn within(&self, rel_tol: f64) -> bool {
-        self.ratio <= 1.0 + rel_tol && self.ratio >= 1.0 / (1.0 + rel_tol)
+        crate::bench::retry::within_band(self.ratio, rel_tol)
     }
 }
 
@@ -315,10 +325,31 @@ mod tests {
             "dgemm_par_1024_w4",
             "dtrsm_lower_512x256",
             "dtrsm_upper_512x256",
+            "spmv_2d_6m",
+            "cg_iter_2d_6m",
         ] {
             assert!(entry_profile(id, &tune).is_some(), "missing profile {id}");
         }
         assert!(entry_profile("nonexistent", &tune).is_none());
+    }
+
+    #[test]
+    fn sparse_profiles_sit_under_the_memory_ceiling() {
+        // SpMV's arithmetic intensity (~1/6 flop/byte, stored f64 values
+        // plus u32 indices) and the CG iteration's (~1/10) are both far
+        // below any realistic machine balance, so the acceptance exercises
+        // the bandwidth ceiling, not the flop ceilings.
+        let tune = Blocking::default_blocking();
+        for id in ["spmv_2d_6m", "cg_iter_2d_6m"] {
+            let p = entry_profile(id, &tune).unwrap();
+            let flops = p.simd_flops
+                + p.thin_simd_flops
+                + p.packed_scalar_flops
+                + p.reference_flops
+                + p.subst_flops;
+            let ai = flops / p.bytes;
+            assert!(ai < 0.5, "{id}: AI {ai} is not memory-bound");
+        }
     }
 
     #[test]

@@ -1,0 +1,471 @@
+//! The dense-vs-sparse energy campaign: the same Poisson SPD system
+//! solved by the dense direct solvers (IMe, ScaLAPACK) and by distributed
+//! CG over the sparse row-block SpMV, on one simulated node.
+//!
+//! This is the memory-bound inversion the sparse workload family exists
+//! to demonstrate: CG's achieved GFLOP/s sits far below every dense
+//! solver's — SpMV's ~1/6 flop-per-byte intensity pins it to the DRAM
+//! ceiling — yet its energy to solution is lower, because it moves
+//! O(nnz·iters) data instead of executing O(n³) flops. Alongside the
+//! measurements, every CG point is re-derived from the closed forms
+//! (`greenla_cg::formulas` for flops/bytes through the spec roofline,
+//! `greenla_model::comm` for the collectives and the halo exchange) and
+//! gated against the simulator within the same ±30% band the dense
+//! roofline validation uses.
+
+use crate::config::SolverChoice;
+use crate::run::{run_once, system_seed, Aggregated, DataPoint, Dataset, Measurement, RunConfig};
+use greenla_cg::formulas;
+use greenla_cg::partition::{HaloPlan, RowBlocks};
+use greenla_cluster::placement::LoadLayout;
+use greenla_cluster::spec::{ClusterSpec, NodeSpec};
+use greenla_cluster::PowerModel;
+use greenla_linalg::generate::SystemKind;
+use greenla_linalg::sparse::CsrMatrix;
+use greenla_model::comm;
+use greenla_model::params::MachineParams;
+use greenla_model::roofline::{KernelProfile, Roofline};
+use serde::{Deserialize, Serialize};
+
+/// The band shared with the dense roofline validations (host and
+/// simulated): predictions must land within ±30% of the measurement.
+pub const REL_TOL: f64 = 0.30;
+
+fn within_band(ratio: f64) -> bool {
+    crate::bench::retry::within_band(ratio, REL_TOL)
+}
+
+/// Minimum monitored-window length. The simulated RAPL refreshes its MSR
+/// counters once per ~1 ms like the real hardware, so a window must span
+/// many update periods before the start/stop deltas mean anything; a CG
+/// solve on these dimensions finishes in well under a millisecond and is
+/// batched up to this length (the ±1-update read error then amortises to
+/// a few percent). Dense solves long enough on their own keep `batch = 1`.
+const TARGET_WINDOW_S: f64 = 0.05;
+
+/// Upper bound on the batch so a mis-probed duration cannot stall a run.
+const MAX_BATCH: usize = 1024;
+
+/// Normalise a batched measurement to a single solve. Energies and the
+/// window divide exactly (every solve in the batch is identical); traffic
+/// divides approximately — the monitoring protocol's own messages ride
+/// along once per window, not once per solve.
+fn per_solve(mut m: Measurement, batch: usize) -> Measurement {
+    let b = batch as f64;
+    m.duration_s /= b;
+    m.total_energy_j /= b;
+    m.pkg_energy_j /= b;
+    m.dram_energy_j /= b;
+    for v in &mut m.pkg_by_socket_j {
+        *v /= b;
+    }
+    for v in &mut m.dram_by_socket_j {
+        *v /= b;
+    }
+    m.msgs /= batch as u64;
+    m.volume_elems /= batch as u64;
+    m
+}
+
+/// Grid of the sparse campaign. Dimensions must be perfect squares
+/// ([`SystemKind::Poisson2d`] is a k×k 5-point stencil); all ranks run
+/// full-load on a single node so every message is intra-node and the
+/// closed-form communication model needs only one latency class.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SparseGrid {
+    pub dims: Vec<usize>,
+    pub ranks: usize,
+    pub reps: usize,
+    pub cores_per_socket: usize,
+    pub base_seed: u64,
+}
+
+impl Default for SparseGrid {
+    fn default() -> Self {
+        Self {
+            dims: vec![400, 784, 1296],
+            ranks: 16,
+            reps: 3,
+            cores_per_socket: 8,
+            base_seed: 2023,
+        }
+    }
+}
+
+impl SparseGrid {
+    /// A minimal grid for CI smoke runs.
+    pub fn smoke() -> Self {
+        Self {
+            dims: vec![196, 324],
+            reps: 1,
+            ..Self::default()
+        }
+    }
+
+    /// The four solvers every dimension runs: both CG variants against
+    /// both dense direct solvers.
+    pub fn solvers() -> [SolverChoice; 4] {
+        [
+            SolverChoice::cg(),
+            SolverChoice::cg_jacobi(),
+            SolverChoice::ime_optimized(),
+            SolverChoice::scalapack(),
+        ]
+    }
+}
+
+/// One solver × dimension summary row of the campaign.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SparsePoint {
+    pub solver: String,
+    pub n: usize,
+    pub duration_s: f64,
+    pub energy_j: f64,
+    /// Achieved rate over the solver's closed-form flop count.
+    pub gflops: f64,
+    pub iterations: Option<u64>,
+    /// Solves per monitored window (sized so the window spans well past
+    /// the RAPL update period); all figures above are already per solve.
+    pub batch: usize,
+}
+
+/// Closed-form model vs simulator for one CG point.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ModelCheck {
+    pub solver: String,
+    pub n: usize,
+    pub iterations: u64,
+    pub pred_wall_s: f64,
+    pub meas_wall_s: f64,
+    pub wall_ratio: f64,
+    pub pred_iter_wall_s: f64,
+    pub meas_iter_wall_s: f64,
+    pub pred_energy_j: f64,
+    pub meas_energy_j: f64,
+    pub energy_ratio: f64,
+    /// The roofline's verdict on the per-rank solve profile — must be
+    /// `false` (memory-bound) for every CG point.
+    pub compute_bound: bool,
+    /// Achieved DRAM GB/s of the solve against the closed-form byte count.
+    pub gbps: f64,
+    pub within_band: bool,
+}
+
+/// The ranking divergence at one dimension: CG delivers the *lowest*
+/// GFLOP/s yet the *lowest* energy to solution.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct InversionCheck {
+    pub n: usize,
+    pub cg_gflops: f64,
+    pub min_dense_gflops: f64,
+    pub cg_energy_j: f64,
+    pub min_dense_energy_j: f64,
+    pub holds: bool,
+}
+
+/// The campaign's machine-readable verdict, written as
+/// `sparse_campaign.json`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SparseReport {
+    pub points: Vec<SparsePoint>,
+    pub checks: Vec<ModelCheck>,
+    pub inversions: Vec<InversionCheck>,
+    pub all_within_band: bool,
+    pub all_memory_bound: bool,
+    pub inversion_holds: bool,
+}
+
+/// Run the dense-vs-sparse campaign: every solver at every dimension,
+/// `reps` repetitions, on `ranks` full-load ranks of one node. Returns
+/// the dataset (same schema the dense campaign writes) and the report.
+pub fn campaign(grid: &SparseGrid, progress: impl Fn(&str) + Sync) -> (Dataset, SparseReport) {
+    let mut points = Vec::new();
+    let mut rows = Vec::new();
+    let mut checks = Vec::new();
+    for &n in &grid.dims {
+        for solver in SparseGrid::solvers() {
+            progress(&format!("n={n} solver={}", solver.label()));
+            let cfg = RunConfig {
+                n,
+                ranks: grid.ranks,
+                layout: LoadLayout::FullLoad,
+                solver,
+                system: SystemKind::Poisson2d,
+                cores_per_socket: grid.cores_per_socket,
+                seed: grid.base_seed,
+                check: false,
+                faults: None,
+                scheduler: Default::default(),
+                batch: 1,
+            };
+            // Probe at batch 1 to size the monitored window, then measure.
+            let probe = run_once(&cfg);
+            let batch = if probe.duration_s >= TARGET_WINDOW_S {
+                1
+            } else {
+                ((TARGET_WINDOW_S / probe.duration_s).ceil() as usize).clamp(1, MAX_BATCH)
+            };
+            let mut runs: Vec<Measurement> = Vec::with_capacity(grid.reps);
+            if batch == 1 {
+                // The probe is already rep 0 (same seed, same window).
+                runs.push(probe);
+            }
+            while runs.len() < grid.reps {
+                let rep = runs.len();
+                runs.push(per_solve(
+                    run_once(&RunConfig {
+                        seed: grid.base_seed + rep as u64,
+                        batch,
+                        ..cfg.clone()
+                    }),
+                    batch,
+                ));
+            }
+            let agg = Aggregated::from_runs(&runs);
+            let flops = solve_flops(&cfg, &runs[0]);
+            let point = SparsePoint {
+                solver: solver.label().to_string(),
+                n,
+                duration_s: agg.duration_s.mean,
+                energy_j: agg.total_energy_j.mean,
+                gflops: flops / agg.duration_s.mean / 1e9,
+                iterations: runs[0].iterations,
+                batch,
+            };
+            if matches!(solver, SolverChoice::Cg { .. }) {
+                checks.push(model_check(&cfg, &point, &runs[0]));
+            }
+            rows.push(point);
+            points.push(DataPoint {
+                solver: solver.label().to_string(),
+                n,
+                ranks: grid.ranks,
+                layout: LoadLayout::FullLoad,
+                agg,
+                violations: runs.iter().flat_map(|m| m.violations.clone()).collect(),
+                fault_reports: Vec::new(),
+            });
+        }
+    }
+    let inversions: Vec<InversionCheck> = grid
+        .dims
+        .iter()
+        .map(|&n| {
+            let here: Vec<&SparsePoint> = rows.iter().filter(|p| p.n == n).collect();
+            let cg_gflops = here
+                .iter()
+                .filter(|p| p.solver.starts_with("CG"))
+                .map(|p| p.gflops)
+                .fold(0.0, f64::max);
+            let cg_energy_j = here
+                .iter()
+                .filter(|p| p.solver.starts_with("CG"))
+                .map(|p| p.energy_j)
+                .fold(f64::INFINITY, f64::min);
+            let min_dense_gflops = here
+                .iter()
+                .filter(|p| !p.solver.starts_with("CG"))
+                .map(|p| p.gflops)
+                .fold(f64::INFINITY, f64::min);
+            let min_dense_energy_j = here
+                .iter()
+                .filter(|p| !p.solver.starts_with("CG"))
+                .map(|p| p.energy_j)
+                .fold(f64::INFINITY, f64::min);
+            InversionCheck {
+                n,
+                cg_gflops,
+                min_dense_gflops,
+                cg_energy_j,
+                min_dense_energy_j,
+                holds: cg_gflops < min_dense_gflops && cg_energy_j < min_dense_energy_j,
+            }
+        })
+        .collect();
+    let report = SparseReport {
+        all_within_band: checks.iter().all(|c| c.within_band),
+        all_memory_bound: checks.iter().all(|c| !c.compute_bound),
+        inversion_holds: inversions.iter().all(|i| i.holds),
+        points: rows,
+        checks,
+        inversions,
+    };
+    (Dataset { points }, report)
+}
+
+/// Closed-form flop count of one solve, per solver: the IMe model from
+/// `greenla_ime::formulas`, the classic ²⁄₃·n³ LU factor + 2n² solve for
+/// ScaLAPACK, and the summed per-rank CG recurrence cost.
+fn solve_flops(cfg: &RunConfig, m: &Measurement) -> f64 {
+    match cfg.solver {
+        SolverChoice::Ime { .. } => greenla_ime::formulas::flops_ime_ours(cfg.n) as f64,
+        SolverChoice::ScaLapack { .. } => {
+            let n = cfg.n as f64;
+            2.0 * n * n * n / 3.0 + 2.0 * n * n
+        }
+        SolverChoice::Cg { jacobi } => cg_rank_costs(cfg, jacobi, m)
+            .iter()
+            .map(|c| c.flops as f64)
+            .sum(),
+    }
+}
+
+/// Per-rank closed-form solve costs of a CG run, derived from the same
+/// system `run_once` generated and the measured iteration counts.
+fn cg_rank_costs(cfg: &RunConfig, jacobi: bool, m: &Measurement) -> Vec<formulas::IterCost> {
+    let sys = cfg.system.generate(cfg.n, system_seed(cfg));
+    let a = CsrMatrix::from_dense(&sys.a);
+    let blocks = RowBlocks::new(cfg.n, cfg.ranks);
+    let plans = HaloPlan::build_all(&a, blocks);
+    let iters = m.iterations.expect("CG run records iterations");
+    let refreshes = m.refreshes.expect("CG run records refreshes");
+    (0..cfg.ranks)
+        .map(|r| {
+            let rows = blocks.rows(r);
+            let nnz = a.row_block(blocks.lo(r), blocks.hi(r)).nnz();
+            formulas::cg_solve_cost(rows, nnz, plans[r].recv_elems(), jacobi, iters, refreshes)
+        })
+        .collect()
+}
+
+/// Re-derive one CG measurement from the closed forms and gate it.
+fn model_check(cfg: &RunConfig, point: &SparsePoint, m: &Measurement) -> ModelCheck {
+    let jacobi = matches!(cfg.solver, SolverChoice::Cg { jacobi: true });
+    let node = NodeSpec::test_node(cfg.cores_per_socket);
+    let spec = ClusterSpec {
+        node: node.clone(),
+        nodes: m.nodes,
+        net: greenla_cluster::Interconnect::omni_path(),
+    };
+    let rf = Roofline::from_spec(&spec);
+    let costs = cg_rank_costs(cfg, jacobi, m);
+    let iters = m.iterations.expect("CG run records iterations");
+    let refreshes = m.refreshes.expect("CG run records refreshes");
+
+    // Compute side: the straggler rank's closed-form time through the
+    // spec roofline (ranks run concurrently, each on its own core).
+    let worst = costs
+        .iter()
+        .copied()
+        .max_by(|a, b| {
+            let t = |c: &formulas::IterCost| {
+                rf.predict(&KernelProfile::sparse(c.flops, c.bytes, 1))
+                    .time_s
+            };
+            t(a).total_cmp(&t(b))
+        })
+        .expect("at least one rank");
+    let per_rank = KernelProfile::sparse(worst.flops, worst.bytes, 1);
+    let pred = rf.predict(&per_rank);
+
+    // Communication side: everything is intra-node on the single-node
+    // campaign, so evaluate the closed forms at the intra latency class.
+    let mp = MachineParams::from_spec(&spec);
+    let mi = MachineParams {
+        alpha: mp.alpha_intra,
+        beta: mp.beta_intra,
+        ..mp
+    };
+    let sys = cfg.system.generate(cfg.n, system_seed(cfg));
+    let a = CsrMatrix::from_dense(&sys.a);
+    let plans = HaloPlan::build_all(&a, RowBlocks::new(cfg.n, cfg.ranks));
+    // One exchange: the bottleneck rank drains its incoming messages.
+    let halo_s = plans
+        .iter()
+        .map(|pl| {
+            pl.recv
+                .iter()
+                .map(|(_, idxs)| mi.p2p(8.0 * idxs.len() as f64))
+                .sum::<f64>()
+        })
+        .fold(0.0, f64::max);
+    let p = cfg.ranks;
+    let iter_comm = comm::allreduce(p, 8.0, &mi) + comm::allreduce(p, 16.0, &mi) + halo_s;
+    let comm_s = comm::allreduce(p, 16.0, &mi)
+        + iters as f64 * iter_comm
+        + refreshes as f64 * halo_s
+        + comm::allgather_ring(p, 8.0 * cfg.n as f64, &mi);
+
+    let pred_wall_s = pred.time_s + comm_s;
+    let bytes_total: f64 = costs.iter().map(|c| c.bytes as f64).sum();
+    let power = PowerModel::scaled_for(&node);
+    let e = rf.predict_energy(
+        &node,
+        &power,
+        LoadLayout::FullLoad,
+        p,
+        &per_rank,
+        comm_s,
+        bytes_total,
+    );
+    let wall_ratio = pred_wall_s / m.duration_s;
+    let energy_ratio = e.total_j / m.total_energy_j;
+    ModelCheck {
+        solver: point.solver.clone(),
+        n: cfg.n,
+        iterations: iters,
+        pred_wall_s,
+        meas_wall_s: m.duration_s,
+        wall_ratio,
+        pred_iter_wall_s: pred_wall_s / iters as f64,
+        meas_iter_wall_s: m.duration_s / iters as f64,
+        pred_energy_j: e.total_j,
+        meas_energy_j: m.total_energy_j,
+        energy_ratio,
+        compute_bound: pred.compute_bound,
+        gbps: bytes_total / m.duration_s / 1e9,
+        within_band: within_band(wall_ratio) && within_band(energy_ratio),
+    }
+}
+
+/// Render the report as the terminal table `repro --exp sparse` prints.
+pub fn table(report: &SparseReport) -> crate::output::Table {
+    let fmt = |v: f64| format!("{v:.4}");
+    crate::output::Table {
+        id: "sparse".into(),
+        title: "E-SP — dense vs sparse on the same Poisson system (energy inversion)".into(),
+        headers: ["solver", "n", "time [s]", "energy [J]", "GFLOP/s", "iters"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        rows: report
+            .points
+            .iter()
+            .map(|pt| {
+                vec![
+                    pt.solver.clone(),
+                    pt.n.to_string(),
+                    fmt(pt.duration_s),
+                    fmt(pt.energy_j),
+                    fmt(pt.gflops),
+                    pt.iterations.map_or("-".into(), |i| i.to_string()),
+                ]
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_check_is_symmetric_in_the_ratio() {
+        assert!(within_band(1.0));
+        assert!(within_band(1.29) && within_band(1.0 / 1.29));
+        assert!(!within_band(1.31) && !within_band(1.0 / 1.31));
+        assert!(!within_band(f64::NAN));
+    }
+
+    #[test]
+    fn smoke_grid_dims_are_perfect_squares_on_one_node() {
+        for grid in [SparseGrid::default(), SparseGrid::smoke()] {
+            let node = NodeSpec::test_node(grid.cores_per_socket);
+            assert_eq!(node.cores(), grid.ranks, "one full node exactly");
+            for &n in &grid.dims {
+                let k = (n as f64).sqrt().round() as usize;
+                assert_eq!(k * k, n, "{n} is not a perfect square");
+            }
+        }
+    }
+}

@@ -39,20 +39,31 @@ const STABLE_DIAGNOSTICS: &[&str] = &[
     // the event engine's exact-quiescence probe aborts with this prefix
     // on unchecked runs (checked runs get the wait-for cycle instead).
     "deadlock:",
+    // Every CgError Display starts with this prefix (enforced by a unit
+    // test in greenla-cg): breakdowns under injected faults die loudly
+    // with it instead of iterating forever on a corrupted Krylov basis.
+    "cg aborted:",
 ];
 
 fn chaos_cfg(solver: SolverChoice, plan: FaultPlan) -> RunConfig {
+    // CG runs on the 8×8 Poisson stencil (N = 64 is a perfect square), the
+    // sparse workload it exists for; the dense solvers keep DiagDominant.
+    let system = match solver {
+        SolverChoice::Cg { .. } => SystemKind::Poisson2d,
+        _ => SystemKind::DiagDominant,
+    };
     RunConfig {
         n: N,
         ranks: RANKS,
         layout: LoadLayout::FullLoad,
         solver,
-        system: SystemKind::DiagDominant,
+        system,
         cores_per_socket: 4,
         seed: 77,
         check: true,
         faults: Some(plan),
         scheduler: Default::default(),
+        batch: 1,
     }
 }
 
@@ -104,7 +115,11 @@ fn chaos_battery_every_plan_terminates_with_stable_outcome() {
     let mut records = Vec::new();
     let (mut completed, mut aborted) = (0usize, 0usize);
     for seed in 0..50u64 {
-        for solver in [SolverChoice::ime_optimized(), SolverChoice::scalapack()] {
+        for solver in [
+            SolverChoice::ime_optimized(),
+            SolverChoice::scalapack(),
+            SolverChoice::cg(),
+        ] {
             let plan = FaultPlan::seeded(seed, &shape);
             assert!(!plan.is_empty(), "seeded plans always inject something");
             let tag = format!("seed{seed}-{}", solver.label());
@@ -145,11 +160,21 @@ fn chaos_battery_every_plan_terminates_with_stable_outcome() {
             }
         }
     }
-    assert_eq!(completed + aborted, 100, "every plan terminated");
+    assert_eq!(completed + aborted, 150, "every plan terminated");
     // The seeded mix guarantees both fates appear: ~40% of plans carry a
     // fatal fault, the rest are recoverable.
     assert!(completed > 0, "some plans must recover");
     assert!(aborted > 0, "some plans must abort");
+    // CG specifically must show both fates: recovery proves the halo
+    // retry path, abort proves the stable-diagnostic contract above.
+    for outcome in ["completed", "aborted"] {
+        assert!(
+            records
+                .iter()
+                .any(|r| r.solver == "CG" && r.outcome == outcome),
+            "no CG plan {outcome}"
+        );
+    }
     if let Some(dir) = std::env::var_os("CHAOS_REPORT_DIR") {
         let dir = std::path::PathBuf::from(dir);
         std::fs::create_dir_all(&dir).expect("create chaos report dir");

@@ -47,6 +47,7 @@ fn checking_does_not_perturb_measurements() {
         check,
         faults: None,
         scheduler: Default::default(),
+        batch: 1,
     };
     let checked = run_once(&cfg(true));
     let plain = run_once(&cfg(false));

@@ -6,6 +6,7 @@
 //! run at all).
 
 use greenla_harness::bench;
+use greenla_harness::bench::retry::{median_wall, BestRatios};
 use greenla_harness::roofline::{self, RooflineCheck};
 use greenla_linalg::blas3::{
     dgemm_blocked, dgemm_blocked_path, dgemm_reference, dtrsm_left_lower_unit,
@@ -15,20 +16,6 @@ use greenla_linalg::simd::KernelPath;
 use greenla_linalg::tune::Blocking;
 use greenla_linalg::Matrix;
 use greenla_model::roofline::KernelProfile;
-use std::time::Instant;
-
-fn median_wall(reps: usize, mut f: impl FnMut()) -> f64 {
-    f(); // warm-up
-    let mut times: Vec<f64> = (0..reps)
-        .map(|_| {
-            let t = Instant::now();
-            f();
-            t.elapsed().as_secs_f64()
-        })
-        .collect();
-    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    times[(times.len() - 1) / 2]
-}
 
 fn mat(rows: usize, cols: usize, salt: usize) -> Matrix {
     Matrix::from_fn(rows, cols, |i, j| {
@@ -141,10 +128,18 @@ fn run_attempt() -> (Vec<RooflineCheck>, f64) {
         let suite = bench::kernel_suite(true);
         let checks = roofline::validate_suite(&host, &suite);
         assert!(
-            checks.len() >= 9,
+            checks.len() >= 11,
             "suite shrank to {} measured entries",
             checks.len()
         );
+        // The sparse entries must exercise the *memory* ceiling — the
+        // roofline classifying SpMV or the CG iteration as compute-bound
+        // means the bandwidth calibration (or the byte model) is broken,
+        // whatever their ratios say.
+        for id in ["spmv_2d_6m", "cg_iter_2d_6m"] {
+            let c = checks.iter().find(|c| c.id == id).expect("sparse entry");
+            assert!(!c.compute_bound, "{id} must sit on the memory ceiling");
+        }
         checks
     };
     (checks, tol)
@@ -159,7 +154,7 @@ fn roofline_predicts_measured_kernel_rates() {
     // passes if ANY attempt lands it in the band — a burst moves around
     // between attempts, while a genuine model error misses every time.
     const ATTEMPTS: usize = 3;
-    let mut best: std::collections::BTreeMap<String, f64> = std::collections::BTreeMap::new();
+    let mut best = BestRatios::new();
     let mut tol = roofline::rel_tol();
     for attempt in 1..=ATTEMPTS {
         let (checks, t) = run_attempt();
@@ -173,28 +168,19 @@ fn roofline_predicts_measured_kernel_rates() {
                 c.ratio,
                 if c.compute_bound { "compute" } else { "memory" },
             );
-            let entry = best.entry(c.id.clone()).or_insert(c.ratio);
-            if c.ratio.ln().abs() < entry.ln().abs() {
-                *entry = c.ratio;
-            }
+            best.absorb(&c.id, c.ratio);
         }
-        let failures: Vec<String> = best
-            .iter()
-            .filter(|(_, &r)| !(r <= 1.0 + tol && r >= 1.0 / (1.0 + tol)))
-            .map(|(id, r)| format!("{id}: best ratio {r:.3}"))
-            .collect();
-        if failures.is_empty() {
+        if best.all_within(tol) {
             return;
         }
         println!(
-            "after attempt {attempt}/{ATTEMPTS}, outside ±{:.0}%: {failures:?}",
-            tol * 100.0
+            "after attempt {attempt}/{ATTEMPTS}, outside ±{:.0}%: {:?}",
+            tol * 100.0,
+            best.failures(tol)
         );
     }
-    let failures: Vec<String> = best
-        .iter()
-        .filter(|(_, &r)| !(r <= 1.0 + tol && r >= 1.0 / (1.0 + tol)))
-        .map(|(id, r)| format!("{id}: best ratio {r:.3}"))
-        .collect();
-    panic!("roofline misses persisted across {ATTEMPTS} attempts: {failures:?}");
+    panic!(
+        "roofline misses persisted across {ATTEMPTS} attempts: {:?}",
+        best.failures(tol)
+    );
 }

@@ -44,6 +44,7 @@ fn roofline_matches_simulated_rapl_on_compute_dominated_run() {
         check: false,
         faults: None,
         scheduler: Default::default(),
+        batch: 1,
     };
     let m = run_once(&cfg);
     assert_eq!(m.nodes, 1);

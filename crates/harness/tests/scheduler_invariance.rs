@@ -21,17 +21,24 @@ use greenla_linalg::generate::SystemKind;
 use greenla_mpi::SchedulerKind;
 
 fn cfg(solver: SolverChoice, check: bool) -> RunConfig {
+    // CG needs a symmetric positive definite operator; the dense solvers
+    // keep the unsymmetric diagonally-dominant draw they have always used.
+    let system = match solver {
+        SolverChoice::Cg { .. } => SystemKind::Spd,
+        _ => SystemKind::DiagDominant,
+    };
     RunConfig {
         n: 96,
         ranks: 16,
         layout: LoadLayout::FullLoad,
         solver,
-        system: SystemKind::DiagDominant,
+        system,
         cores_per_socket: 4,
         seed: 11,
         check,
         faults: None,
         scheduler: SchedulerKind::ThreadPerRank,
+        batch: 1,
     }
 }
 
@@ -51,6 +58,10 @@ fn assert_bit_identical(a: &Measurement, b: &Measurement, what: &str) {
         ];
         v.extend(m.pkg_by_socket_j.iter().map(|x| x.to_bits()));
         v.extend(m.dram_by_socket_j.iter().map(|x| x.to_bits()));
+        // Iterative-solver counters (None on direct solves): CG iteration
+        // and refresh counts are part of the determinism contract too.
+        v.push(m.iterations.unwrap_or(u64::MAX));
+        v.push(m.refreshes.unwrap_or(u64::MAX));
         v
     };
     assert_eq!(
@@ -62,7 +73,12 @@ fn assert_bit_identical(a: &Measurement, b: &Measurement, what: &str) {
 
 #[test]
 fn repeated_runs_are_bit_identical() {
-    for solver in [SolverChoice::ime_optimized(), SolverChoice::scalapack()] {
+    for solver in [
+        SolverChoice::ime_optimized(),
+        SolverChoice::scalapack(),
+        SolverChoice::cg(),
+        SolverChoice::cg_jacobi(),
+    ] {
         let first = run_once(&cfg(solver, false));
         let second = run_once(&cfg(solver, false));
         assert_bit_identical(&first, &second, "repeat, unchecked");
@@ -73,11 +89,15 @@ fn repeated_runs_are_bit_identical() {
 fn parked_and_polling_schedulers_agree() {
     // Unchecked runs park in blocking waits; checked runs poll with a
     // timeout so the deadlock probe keeps running. Two different wall-clock
-    // wait mechanisms, one virtual timeline.
-    let polled = run_once(&cfg(SolverChoice::ime_optimized(), true));
-    let parked = run_once(&cfg(SolverChoice::ime_optimized(), false));
-    assert!(polled.violations.is_empty(), "{:#?}", polled.violations);
-    assert_bit_identical(&polled, &parked, "checked vs unchecked");
+    // wait mechanisms, one virtual timeline. CG rides along: its halo
+    // exchange is point-to-point-heavy where the dense solvers are
+    // broadcast-heavy, so it stresses a different wait pattern.
+    for solver in [SolverChoice::ime_optimized(), SolverChoice::cg()] {
+        let polled = run_once(&cfg(solver, true));
+        let parked = run_once(&cfg(solver, false));
+        assert!(polled.violations.is_empty(), "{:#?}", polled.violations);
+        assert_bit_identical(&polled, &parked, "checked vs unchecked");
+    }
 }
 
 #[test]
@@ -316,7 +336,12 @@ mod cross_engine {
 
     #[test]
     fn engines_agree_bit_for_bit_on_plain_runs() {
-        for solver in [SolverChoice::ime_optimized(), SolverChoice::scalapack()] {
+        for solver in [
+            SolverChoice::ime_optimized(),
+            SolverChoice::scalapack(),
+            SolverChoice::cg(),
+            SolverChoice::cg_jacobi(),
+        ] {
             let threads = run_once(&cfg(solver, false));
             let fibers = run_once(&with_engine(cfg(solver, false), SchedulerKind::EventDriven));
             assert_bit_identical(&threads, &fibers, "thread vs event engine");

@@ -1,0 +1,58 @@
+//! End-to-end smoke of the dense-vs-sparse campaign: one tiny Poisson
+//! dimension through all four solvers, asserting the three verdicts the
+//! full campaign gates on — every CG point memory-bound, the closed-form
+//! wall/energy predictions within the shared ±30% band, and the energy
+//! inversion (lowest GFLOP/s, lowest Joules) holding against both dense
+//! direct solvers.
+
+use greenla_harness::sparse::{campaign, SparseGrid};
+
+#[test]
+fn sparse_campaign_smoke_verdicts_hold() {
+    // n = 196 is the smallest grid dimension past the dense/sparse energy
+    // crossover — below it the dense direct solve is so small that CG's
+    // per-iteration latency still wins on Joules.
+    let grid = SparseGrid {
+        dims: vec![196],
+        reps: 1,
+        ..SparseGrid::smoke()
+    };
+    let (data, report) = campaign(&grid, |_| {});
+
+    // Dataset shape: one point per solver × dimension, same schema the
+    // dense campaign writes.
+    assert_eq!(data.points.len(), 4, "4 solvers × 1 dim");
+    assert_eq!(report.points.len(), 4);
+    assert_eq!(report.checks.len(), 2, "one model check per CG variant");
+    assert_eq!(report.inversions.len(), 1);
+    for p in &data.points {
+        assert!(p.violations.is_empty(), "{}: {:?}", p.solver, p.violations);
+    }
+
+    // Only the CG points carry iteration counts, and a sub-millisecond CG
+    // solve must have been batched across many RAPL counter updates.
+    for pt in &report.points {
+        let is_cg = pt.solver.starts_with("CG");
+        assert_eq!(pt.iterations.is_some(), is_cg, "{}", pt.solver);
+        assert!(pt.duration_s > 0.0 && pt.energy_j > 0.0, "{pt:?}");
+        if is_cg {
+            assert!(pt.batch > 1, "CG window must be batched: {pt:?}");
+        }
+    }
+
+    assert!(
+        report.all_memory_bound,
+        "CG must sit on the memory ceiling: {:?}",
+        report.checks
+    );
+    assert!(
+        report.all_within_band,
+        "closed forms out of band: {:?}",
+        report.checks
+    );
+    assert!(
+        report.inversion_holds,
+        "energy inversion failed: {:?}",
+        report.inversions
+    );
+}

@@ -77,6 +77,24 @@ pub fn bytes_f64(elems: usize) -> u64 {
     8 * elems as u64
 }
 
+/// Flops for a CSR SpMV with `nnz` stored entries: one multiply-add pair
+/// per entry.
+pub fn spmv(nnz: usize) -> u64 {
+    2 * nnz as u64
+}
+
+/// DRAM traffic of one CSR SpMV (`y = A·x`) in bytes, for the layout
+/// [`crate::sparse::CsrMatrix`] stores: `f64` values plus `u32` column
+/// indices (12 bytes per stored entry), the `usize` row-pointer array
+/// (8·(n+1)), one streaming read of `x` and one write of `y` (16·n).
+/// The gather into `x` is counted as a single stream — the generators'
+/// stencil and near-diagonal patterns keep it cache-resident, which is
+/// what pins SpMV's arithmetic intensity at `2·nnz / spmv_csr_bytes`
+/// ≈ 1/6 flop per byte, far left of every machine's ridge point.
+pub fn spmv_csr_bytes(n: usize, nnz: usize) -> u64 {
+    12 * nnz as u64 + 8 * (n as u64 + 1) + 16 * n as u64
+}
+
 /// DRAM-level traffic of the packed [`crate::blas3`] dgemm under `tune`
 /// blocking, in bytes. Counts every packing round trip and `C` update round
 /// at cache-line granularity, assuming the packed buffers themselves stay
@@ -226,6 +244,16 @@ mod tests {
             assert_eq!(p.dgemm_flops + p.subst_flops, dtrsm(m, n), "m={m} n={n}");
             assert!(p.bytes > 0);
         }
+    }
+
+    #[test]
+    fn spmv_intensity_is_memory_bound() {
+        // 5-point stencil at k = 100: AI = 2·nnz / bytes ≈ 0.16 flop/byte,
+        // an order of magnitude left of any x86 ridge point.
+        let k = 100;
+        let (n, nnz) = (k * k, 5 * k * k - 4 * k);
+        let ai = spmv(nnz) as f64 / spmv_csr_bytes(n, nnz) as f64;
+        assert!((0.1..0.2).contains(&ai), "AI {ai}");
     }
 
     #[test]

@@ -45,7 +45,7 @@ impl LinearSystem {
     }
 }
 
-fn reference_solution(n: usize) -> Vec<f64> {
+pub(crate) fn reference_solution(n: usize) -> Vec<f64> {
     // Bounded, non-trivial entries: 1 + (i mod 7)/7 with alternating sign.
     (0..n)
         .map(|i| {

@@ -28,8 +28,10 @@ pub mod par;
 pub mod permutation;
 #[allow(unsafe_code)]
 pub mod simd;
+pub mod sparse;
 pub mod tune;
 
 pub use block::{BlockMut, BlockRef};
 pub use generate::LinearSystem;
 pub use matrix::Matrix;
+pub use sparse::{CsrMatrix, SparseSystem};

@@ -120,6 +120,53 @@ pub fn allgather_ring_traffic(p: usize, total_elems: u64) -> (u64, u64) {
     (pu * (pu - 1), (pu - 1) * total_elems)
 }
 
+/// Exact traffic of the small-payload tree allreduce (binomial reduce to
+/// rank 0 + binomial rebroadcast) over `p` ranks with `elems` elements:
+/// every non-root rank moves one full payload in each half, so
+/// `2·(p − 1)` messages of `elems` elements. This is the path every
+/// ≤ [`COLL_SMALL_BYTES`] sum-allreduce takes — including CG's 8- and
+/// 16-byte per-iteration reductions.
+pub fn allreduce_tree_traffic(p: usize, elems: u64) -> (u64, u64) {
+    if p <= 1 {
+        return (0, 0);
+    }
+    let msgs = 2 * (p as u64 - 1);
+    (msgs, msgs * elems)
+}
+
+/// Exact traffic of one steady-state CG iteration over `p` ranks
+/// (`greenla_cg::pcg`): one halo exchange of the direction vector
+/// (`halo_msgs` messages, `halo_elems` elements — both from
+/// `greenla_cg::partition::HaloStats`), the 1-element curvature
+/// allreduce, and the combined 2-element `[r·z, r·r]` allreduce, the
+/// latter two always on the tree path.
+pub fn cg_iteration_traffic(p: usize, halo_msgs: u64, halo_elems: u64) -> (u64, u64) {
+    let (m1, e1) = allreduce_tree_traffic(p, 1);
+    let (m2, e2) = allreduce_tree_traffic(p, 2);
+    (halo_msgs + m1 + m2, halo_elems + e1 + e2)
+}
+
+/// Exact whole-solve traffic of a converged `greenla_cg::pcg` run: the
+/// 2-element seed allreduce, `iters` full iterations, one extra halo
+/// exchange per true-residual refresh, and the final ring allgather of
+/// the `n` solution elements.
+pub fn cg_solve_traffic(
+    p: usize,
+    n: usize,
+    iters: u64,
+    refreshes: u64,
+    halo_msgs: u64,
+    halo_elems: u64,
+) -> (u64, u64) {
+    let (sm, se) = allreduce_tree_traffic(p, 2);
+    let (im, ie) = cg_iteration_traffic(p, halo_msgs, halo_elems);
+    let (gm, ge) = allgather_ring_traffic(p, n as u64);
+    (
+        sm + iters * im + refreshes * halo_msgs + gm,
+        se + iters * ie + refreshes * halo_elems + ge,
+    )
+}
+
 /// Linear gather to a root: the root serialises one receive overhead per
 /// child and the last payload's transport.
 pub fn gather_linear(p: usize, bytes_per_rank: f64, m: &MachineParams) -> f64 {
@@ -216,5 +263,25 @@ mod tests {
         assert_eq!(allreduce_rd_traffic(1, 7), (0, 0));
         assert_eq!(allgather_ring_traffic(8, 40), (56, 280));
         assert_eq!(allgather_ring_traffic(1, 40), (0, 0));
+    }
+
+    #[test]
+    fn cg_traffic_closed_forms() {
+        // Tree allreduce: 2(p−1) full-payload messages.
+        assert_eq!(allreduce_tree_traffic(16, 2), (30, 60));
+        assert_eq!(allreduce_tree_traffic(1, 2), (0, 0));
+        // One iteration at p = 4 with a 6-message / 24-element halo:
+        // halo + 2·3 msgs of 1 elem + 2·3 msgs of 2 elems.
+        assert_eq!(cg_iteration_traffic(4, 6, 24), (6 + 6 + 6, 24 + 6 + 12));
+        // Single rank: no communication at all.
+        assert_eq!(cg_iteration_traffic(1, 0, 0), (0, 0));
+        assert_eq!(cg_solve_traffic(1, 100, 17, 3, 0, 0), (0, 0));
+        // Whole solve = seed + iters·iteration + refresh halos + allgather.
+        let (im, ie) = cg_iteration_traffic(4, 6, 24);
+        let (gm, ge) = allgather_ring_traffic(4, 64);
+        assert_eq!(
+            cg_solve_traffic(4, 64, 10, 2, 6, 24),
+            (6 + 10 * im + 2 * 6 + gm, 12 + 10 * ie + 2 * 24 + ge)
+        );
     }
 }

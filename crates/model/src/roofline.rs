@@ -115,6 +115,22 @@ impl KernelProfile {
         }
     }
 
+    /// Profile of a sparse-workload sweep (CSR SpMV plus BLAS1 traffic —
+    /// the per-rank flop/byte totals come from `greenla_cg::formulas`).
+    /// The kernels are plain scalar loops, so the flops ride the
+    /// reference-class ceiling; at SpMV's ~1/6 flop-per-byte arithmetic
+    /// intensity the prediction pins to the memory ceiling on every
+    /// machine this workspace models — the inversion the sparse campaign
+    /// demonstrates.
+    pub fn sparse(flops: u64, bytes: u64, workers: usize) -> Self {
+        Self {
+            reference_flops: flops as f64,
+            bytes: bytes as f64,
+            workers,
+            ..Self::default()
+        }
+    }
+
     fn total_flops(&self) -> f64 {
         self.simd_flops
             + self.thin_simd_flops
@@ -142,8 +158,12 @@ impl Roofline {
     /// Ceilings of the *simulated* machine described by `spec`. The
     /// simulator's virtual clock charges every flop at
     /// `sustained_flops_per_core` regardless of code class, so every
-    /// class rate collapses to that figure; bandwidth is the node's DRAM
-    /// bandwidth split evenly over its cores.
+    /// class rate collapses to that figure; bandwidth is a core's share of
+    /// its *socket's* DRAM bandwidth (`dram_bw_bytes_per_s` is per socket,
+    /// see [`greenla_cluster::spec::NodeSpec`]), exactly what the
+    /// simulator's `compute` charge uses. Dividing by the whole node's
+    /// cores instead — an easy slip — halves the ceiling and only shows
+    /// up on memory-bound profiles, where it overpredicts wall time ~2×.
     pub fn from_spec(spec: &ClusterSpec) -> Self {
         let rate = spec.node.cpu.sustained_flops_per_core;
         Self {
@@ -152,7 +172,7 @@ impl Roofline {
             packed_scalar_flops: rate,
             reference_flops: rate,
             subst_flops: rate,
-            mem_bw: spec.node.dram_bw_bytes_per_s / spec.node.cores() as f64,
+            mem_bw: spec.node.dram_bw_bytes_per_s / spec.node.cpu.cores_per_socket as f64,
             cores: spec.node.cores(),
         }
     }
@@ -257,6 +277,12 @@ mod tests {
         assert_eq!(r.simd_flops, sustained);
         assert_eq!(r.reference_flops, sustained);
         assert_eq!(r.cores, spec.node.cores());
+        // Per-core bandwidth is the *socket* share — the same figure the
+        // simulator's `compute` charge divides by, not the node total.
+        assert_eq!(
+            r.mem_bw,
+            spec.node.dram_bw_bytes_per_s / spec.node.cpu.cores_per_socket as f64
+        );
     }
 
     #[test]
