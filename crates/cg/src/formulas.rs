@@ -45,6 +45,36 @@ pub fn spmv_block_cost(rows: usize, nnz: usize, halo_in: usize) -> IterCost {
     }
 }
 
+/// The block SpMV cost of [`spmv_block_cost`] attributed to the
+/// interior/boundary row split the overlapped solver computes in two
+/// phases. The interior phase streams its rows' entries, row pointers,
+/// the owned slice of the gathered vector and its result slots; the
+/// boundary phase carries the rest — including the halo slice (only
+/// boundary rows gather remote columns) and the row-pointer sentinel.
+/// By construction `interior + boundary == spmv_block_cost(rows, nnz,
+/// halo_in)` exactly, so whole-solve costs (and the campaign's flop
+/// totals) are independent of whether the solver overlapped.
+pub fn spmv_split_cost(
+    rows_interior: usize,
+    nnz_interior: usize,
+    rows_boundary: usize,
+    nnz_boundary: usize,
+    halo_in: usize,
+) -> (IterCost, IterCost) {
+    let interior = IterCost {
+        flops: flops::spmv(nnz_interior),
+        bytes: 12 * nnz_interior as u64 + 8 * rows_interior as u64 * 3,
+    };
+    let boundary = IterCost {
+        flops: flops::spmv(nnz_boundary),
+        bytes: 12 * nnz_boundary as u64
+            + 8 * (rows_boundary as u64 + 1)
+            + 8 * (rows_boundary + halo_in) as u64
+            + 8 * rows_boundary as u64,
+    };
+    (interior, boundary)
+}
+
 /// The BLAS1 sweep of one CG iteration over a rank's `rows`-long vector
 /// slices: three dot products (`p·q`, `r·z`, `r·r`), two axpys
 /// (`x += α·p`, `r −= α·q`), the preconditioner application
@@ -132,6 +162,23 @@ mod tests {
         let c = cg_solve_cost(0, 0, 0, true, 10, 2);
         assert_eq!(c.flops, 0);
         assert_eq!(c.bytes, (10 + 2) * 8);
+    }
+
+    #[test]
+    fn split_cost_sums_to_the_block_cost() {
+        // Any interior/boundary attribution must leave the total invariant
+        // — the solver charges the two phases separately but the campaign
+        // totals may not move.
+        for (ri, ni, rb, nb, halo) in [
+            (90, 430, 10, 50, 10),
+            (0, 0, 100, 480, 24),
+            (100, 480, 0, 0, 0),
+            (0, 0, 0, 0, 0),
+        ] {
+            let (i, b) = spmv_split_cost(ri, ni, rb, nb, halo);
+            let whole = spmv_block_cost(ri + rb, ni + nb, halo);
+            assert_eq!(i.plus(b), whole, "({ri},{ni},{rb},{nb},{halo})");
+        }
     }
 
     #[test]

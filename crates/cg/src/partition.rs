@@ -98,6 +98,54 @@ impl HaloPlan {
     }
 }
 
+/// One rank's rows split by halo dependence: *interior* rows reference
+/// only columns the rank owns and can be computed before any neighbour
+/// payload lands; *boundary* rows touch at least one remote column and
+/// must wait for the halo. The split is what lets the overlapped solver
+/// compute the interior SpMV while the exchange is in flight, turning the
+/// per-iteration time into `max(halo, interior) + boundary`.
+///
+/// Row indices are local (relative to the rank's block), each list
+/// ascending; together they tile `0..rows`. `nnz` counts accompany each
+/// side so the closed-form cost split in [`crate::formulas`] matches the
+/// kernel work exactly.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RowSplit {
+    /// Local indices of rows with no remote column, ascending.
+    pub interior: Vec<usize>,
+    /// Local indices of rows with at least one remote column, ascending.
+    pub boundary: Vec<usize>,
+    /// Stored entries in the interior rows.
+    pub interior_nnz: usize,
+    /// Stored entries in the boundary rows.
+    pub boundary_nnz: usize,
+}
+
+impl RowSplit {
+    /// Split rank `rank`'s rows of `a` (the *global* matrix) under
+    /// `blocks`. Pure function of the replicated pattern, like
+    /// [`HaloPlan::build_all`].
+    pub fn build(a: &CsrMatrix, blocks: RowBlocks, rank: usize) -> RowSplit {
+        let (lo, hi) = (blocks.lo(rank), blocks.hi(rank));
+        let mut split = RowSplit::default();
+        for i in lo..hi {
+            let (cols, _) = a.row(i);
+            let nnz = cols.len();
+            let local = cols
+                .iter()
+                .all(|&j| (j as usize) >= lo && (j as usize) < hi);
+            if local {
+                split.interior.push(i - lo);
+                split.interior_nnz += nnz;
+            } else {
+                split.boundary.push(i - lo);
+                split.boundary_nnz += nnz;
+            }
+        }
+        split
+    }
+}
+
 /// Aggregate traffic of one halo exchange across all ranks — exactly what
 /// `greenla_model::comm::cg_iteration_traffic` consumes.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -182,5 +230,45 @@ mod tests {
         let sys = laplace2d(4);
         let plans = HaloPlan::build_all(&sys.a, RowBlocks::new(sys.n(), 1));
         assert_eq!(HaloStats::of(&plans), HaloStats::default());
+    }
+
+    #[test]
+    fn row_split_tiles_the_block_and_matches_the_stencil() {
+        // k×k 5-point Laplacian on p = k/2 ranks of two grid lines each:
+        // the halo reaches exactly one grid line per neighbour, so each
+        // block's boundary is its first and/or last line (k rows per
+        // neighbouring rank) and the rest is interior.
+        let k = 6;
+        let p = k / 2;
+        let sys = laplace2d(k);
+        let blocks = RowBlocks::new(sys.n(), p);
+        for r in 0..p {
+            let split = RowSplit::build(&sys.a, blocks, r);
+            let rows = blocks.rows(r);
+            // Tiling: interior ∪ boundary = 0..rows, disjoint, ascending.
+            let mut all: Vec<usize> = split
+                .interior
+                .iter()
+                .chain(&split.boundary)
+                .copied()
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..rows).collect::<Vec<_>>(), "rank {r}");
+            let nbrs = usize::from(r > 0) + usize::from(r + 1 < p);
+            assert_eq!(split.boundary.len(), nbrs * k, "rank {r}");
+            assert_eq!(split.interior.len(), rows - nbrs * k, "rank {r}");
+            let nnz = sys.a.row_block(blocks.lo(r), blocks.hi(r)).nnz();
+            assert_eq!(split.interior_nnz + split.boundary_nnz, nnz, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn single_rank_split_is_all_interior() {
+        let sys = random_spd(30, 4, 5);
+        let split = RowSplit::build(&sys.a, RowBlocks::new(sys.n(), 1), 0);
+        assert_eq!(split.interior.len(), 30);
+        assert!(split.boundary.is_empty());
+        assert_eq!(split.interior_nnz, sys.a.nnz());
+        assert_eq!(split.boundary_nnz, 0);
     }
 }

@@ -17,9 +17,9 @@
 
 use crate::error::CgError;
 use crate::formulas::{self, IterCost};
-use crate::partition::{HaloPlan, RowBlocks};
+use crate::partition::{HaloPlan, RowBlocks, RowSplit};
 use greenla_linalg::blas1::ddot;
-use greenla_linalg::sparse::SparseSystem;
+use greenla_linalg::sparse::{CsrMatrix, SparseSystem};
 use greenla_mpi::{Comm, RankCtx};
 
 /// User tags for the halo exchange: one tag per exchange round, so
@@ -38,6 +38,14 @@ pub struct CgConfig {
     /// Recompute the true residual `b − A·x` every this many iterations
     /// (an extra halo exchange + SpMV); `0` disables the refresh.
     pub refresh_every: usize,
+    /// Overlap the halo exchange with the interior SpMV: post sends,
+    /// compute the rows with no remote column while neighbour payloads
+    /// are in flight, then drain the receives and finish the boundary
+    /// rows. Per-iteration simulated time becomes
+    /// `max(halo, interior) + boundary` instead of `halo + spmv`; the
+    /// numerics, message counts and tags are bit-identical either way
+    /// (the blocking path exists for the invariance tests).
+    pub overlap: bool,
 }
 
 impl Default for CgConfig {
@@ -47,6 +55,7 @@ impl Default for CgConfig {
             max_iters: 0,
             jacobi: false,
             refresh_every: 50,
+            overlap: true,
         }
     }
 }
@@ -94,6 +103,7 @@ pub fn pcg(
     let a_loc = sys.a.row_block(lo, hi);
     let nnz_l = a_loc.nnz();
     let plan = HaloPlan::build_all(&sys.a, blocks).swap_remove(me);
+    let split = RowSplit::build(&sys.a, blocks, me);
     let halo_in = plan.recv_elems();
     let max_iters = if cfg.max_iters == 0 {
         10 * n + 100
@@ -159,12 +169,39 @@ pub fn pcg(
     };
     let spmv_cost = formulas::spmv_block_cost(rows, nnz_l, halo_in);
     let refresh_cost = formulas::cg_refresh_cost(rows, nnz_l, halo_in);
+    // The residual-update tail of a refresh beyond its SpMV (`r = b − A·x`).
+    let refresh_extra = IterCost {
+        flops: refresh_cost.flops - spmv_cost.flops,
+        bytes: refresh_cost.bytes - spmv_cost.bytes,
+    };
+    let (interior_cost, boundary_cost) = formulas::spmv_split_cost(
+        split.interior.len(),
+        split.interior_nnz,
+        split.boundary.len(),
+        split.boundary_nnz,
+        halo_in,
+    );
+    let spmv = SpmvPhase {
+        a_loc: &a_loc,
+        plan: &plan,
+        split: &split,
+        whole: spmv_cost,
+        interior: interior_cost,
+        boundary: boundary_cost,
+        overlap: cfg.overlap,
+    };
 
     for k in 1..=max_iters {
-        // q = A·p over the owned block, after pulling the halo slice.
-        halo_exchange(ctx, comm, &plan, &mut p_full, &mut exchanges);
-        a_loc.spmv_block(&p_full, &mut q);
-        ctx.compute(spmv_cost.flops, spmv_cost.bytes);
+        // q = A·p over the owned block, pulling the halo slice of p —
+        // overlapped with the interior rows when cfg.overlap is set.
+        spmv.apply(
+            ctx,
+            comm,
+            &mut p_full,
+            &mut q,
+            &mut exchanges,
+            IterCost::default(),
+        );
 
         ctx.compute(dot_cost.flops, dot_cost.bytes);
         let pq = ctx.allreduce_sum_owned_f64(comm, vec![ddot(&p_full[lo..hi], &q)])[0];
@@ -187,12 +224,17 @@ pub fn pcg(
             // True residual: r = b − A·x, killing the recurrence's drift.
             let mut x_full = vec![0.0f64; n];
             x_full[lo..hi].copy_from_slice(&x_l);
-            halo_exchange(ctx, comm, &plan, &mut x_full, &mut exchanges);
-            a_loc.spmv_block(&x_full, &mut q);
+            spmv.apply(
+                ctx,
+                comm,
+                &mut x_full,
+                &mut q,
+                &mut exchanges,
+                refresh_extra,
+            );
             for i in 0..rows {
                 r[i] = b_l[i] - q[i];
             }
-            ctx.compute(refresh_cost.flops, refresh_cost.bytes);
             refreshes += 1;
         }
 
@@ -227,9 +269,85 @@ pub fn pcg(
     })
 }
 
-/// One halo exchange of the full-length vector `v`: post every send
-/// (sends are asynchronous on the simulated runtime, so no ordering can
-/// deadlock), then drain the receives in peer order. One message per
+/// One halo exchange + block SpMV, with the per-phase `compute` charges:
+/// everything the solver needs to form `q = A·v` from the full-length
+/// gathered vector `v`.
+///
+/// Overlapped (`overlap = true`): post every send, compute the interior
+/// rows while the neighbour payloads are in flight, drain the receives,
+/// then finish the boundary rows — the per-iteration simulated time
+/// becomes `max(halo, interior) + boundary`. Blocking: the classic
+/// exchange-then-sweep, `halo + spmv`. Both orders compute every row with
+/// the same left-to-right accumulation exactly once and post identical
+/// messages under identical tags, so the numerics and the traffic ledger
+/// are bit-identical either way; only the virtual clock differs.
+struct SpmvPhase<'a> {
+    a_loc: &'a CsrMatrix,
+    plan: &'a HaloPlan,
+    split: &'a RowSplit,
+    /// Whole-sweep cost ([`formulas::spmv_block_cost`]), blocking path.
+    whole: IterCost,
+    /// Interior-phase cost ([`formulas::spmv_split_cost`]), overlap path.
+    interior: IterCost,
+    /// Boundary-phase cost; `interior + boundary == whole` exactly.
+    boundary: IterCost,
+    overlap: bool,
+}
+
+impl SpmvPhase<'_> {
+    /// `q = A·v` over the owned block, pulling the halo slice of `v`.
+    /// `extra` is charged with the final compute phase (the refresh path
+    /// folds its residual-update tail in here).
+    fn apply(
+        &self,
+        ctx: &mut RankCtx,
+        comm: &Comm,
+        v: &mut [f64],
+        q: &mut [f64],
+        exchanges: &mut u64,
+        extra: IterCost,
+    ) {
+        if !self.overlap {
+            halo_exchange(ctx, comm, self.plan, v, exchanges);
+            self.a_loc.spmv_block(v, q);
+            let c = self.whole.plus(extra);
+            ctx.compute(c.flops, c.bytes);
+            return;
+        }
+        let tag = HALO_TAG_BASE + *exchanges;
+        *exchanges += 1;
+        ctx.trace_begin("comm", "halo_post");
+        for (peer, idxs) in &self.plan.send {
+            let vals: Vec<f64> = idxs.iter().map(|&j| v[j]).collect();
+            ctx.send_f64(comm, *peer, tag, &vals);
+        }
+        ctx.trace_end("comm", "halo_post");
+        // Interior rows touch no remote column, so they proceed while the
+        // payloads fly; the recv below then pays only the residual wait.
+        ctx.trace_begin("compute", "spmv_interior");
+        self.a_loc.spmv_rows(&self.split.interior, v, q);
+        ctx.compute(self.interior.flops, self.interior.bytes);
+        ctx.trace_end("compute", "spmv_interior");
+        ctx.trace_begin("comm", "halo_wait");
+        for (peer, idxs) in &self.plan.recv {
+            let vals = ctx.recv_f64(comm, *peer, tag);
+            debug_assert_eq!(vals.len(), idxs.len());
+            for (&j, val) in idxs.iter().zip(vals) {
+                v[j] = val;
+            }
+        }
+        ctx.trace_end("comm", "halo_wait");
+        ctx.trace_begin("compute", "spmv_boundary");
+        self.a_loc.spmv_rows(&self.split.boundary, v, q);
+        let c = self.boundary.plus(extra);
+        ctx.compute(c.flops, c.bytes);
+        ctx.trace_end("compute", "spmv_boundary");
+    }
+}
+
+/// One blocking halo exchange of the full-length vector `v`: post every
+/// send (sends are asynchronous on the simulated runtime, so no ordering
+/// can deadlock), then drain the receives in peer order. One message per
 /// directed neighbour pair, tagged by exchange round.
 fn halo_exchange(
     ctx: &mut RankCtx,
@@ -240,6 +358,7 @@ fn halo_exchange(
 ) {
     let tag = HALO_TAG_BASE + *exchanges;
     *exchanges += 1;
+    ctx.trace_begin("comm", "halo_exchange");
     for (peer, idxs) in &plan.send {
         let vals: Vec<f64> = idxs.iter().map(|&j| v[j]).collect();
         ctx.send_f64(comm, *peer, tag, &vals);
@@ -251,6 +370,7 @@ fn halo_exchange(
             v[j] = val;
         }
     }
+    ctx.trace_end("comm", "halo_exchange");
 }
 
 /// Ring-allgather the owned blocks into the replicated full solution.

@@ -17,6 +17,7 @@
 
 use crate::config::SolverChoice;
 use crate::run::{run_once, RunConfig};
+use greenla_cg::partition::{RowBlocks, RowSplit};
 use greenla_cluster::placement::LoadLayout;
 use greenla_linalg::blas3::{
     dgemm_blocked, dgemm_blocked_path, dgemm_reference, dtrsm_left_lower_unit, dtrsm_left_upper,
@@ -341,6 +342,72 @@ pub fn kernel_suite(quick: bool) -> BenchSuite {
             gbps: Some(iter.bytes as f64 / wall / 1e9),
             virtual_s: None,
         });
+
+        // The multithreaded row-block SpMV on the same matrix and byte
+        // model. Worker count comes from `GREENLA_SPMV_THREADS` (the CI
+        // kernel-dispatch matrix sweeps it), defaulting to the host's
+        // cores; the roofline acceptance requires this entry's GB/s to sit
+        // on the memory ceiling and beat the serial `spmv_2d_6m` ≥ 2.5× on
+        // a multi-core runner.
+        let wall = median_wall(reps, || {
+            s.a.spmv_parallel(&ones, &mut y);
+            std::hint::black_box(&mut y);
+        });
+        entries.push(BenchEntry {
+            id: "spmv_par_2d_6m".into(),
+            reps,
+            median_wall_s: wall,
+            gflops: Some(spmv_flops / wall / 1e9),
+            gbps: Some(spmv_bytes / wall / 1e9),
+            virtual_s: None,
+        });
+
+        // One CG iteration the way the overlapped solver sweeps it: the
+        // SpMV runs in partition order — every 16-way row block's interior
+        // rows first, then its boundary rows via `spmv_rows` — followed by
+        // the same BLAS1 sweep as `cg_iter_2d_6m`. Same closed-form
+        // flop/byte model (the split is an exact repartition), so the GB/s
+        // gap between the two entries is the price of the indexed sweep.
+        let blocks = RowBlocks::new(n, 16);
+        let (mut interior, mut boundary) = (Vec::new(), Vec::new());
+        for r in 0..16 {
+            let split = RowSplit::build(&s.a, blocks, r);
+            let lo = blocks.lo(r);
+            interior.extend(split.interior.iter().map(|i| lo + i));
+            boundary.extend(split.boundary.iter().map(|i| lo + i));
+        }
+        let mut xv = vec![0.0f64; n];
+        let mut r = s.b.clone();
+        let mut z = r.clone();
+        let mut p = z.clone();
+        let wall = median_wall(reps, || {
+            s.a.spmv_rows(&interior, &p, &mut q);
+            s.a.spmv_rows(&boundary, &p, &mut q);
+            let pq: f64 = p.iter().zip(&q).map(|(a, b)| a * b).sum();
+            let rz: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+            let alpha = if pq != 0.0 { rz / pq } else { 0.0 };
+            for (xi, pi) in xv.iter_mut().zip(&p) {
+                *xi += alpha * pi;
+            }
+            for (ri, qi) in r.iter_mut().zip(&q) {
+                *ri -= alpha * qi;
+            }
+            let rr: f64 = r.iter().map(|v| v * v).sum();
+            z.copy_from_slice(&r);
+            let beta = if rz != 0.0 { rr / rz } else { 0.0 };
+            for (pi, zi) in p.iter_mut().zip(&z) {
+                *pi = zi + beta * *pi;
+            }
+            std::hint::black_box(&mut p);
+        });
+        entries.push(BenchEntry {
+            id: "cg_overlap_iter".into(),
+            reps,
+            median_wall_s: wall,
+            gflops: Some(iter.flops as f64 / wall / 1e9),
+            gbps: Some(iter.bytes as f64 / wall / 1e9),
+            virtual_s: None,
+        });
     }
 
     BenchSuite {
@@ -411,6 +478,7 @@ pub fn campaign_suite(quick: bool) -> BenchSuite {
                 faults: None,
                 scheduler: Default::default(),
                 batch: 1,
+                cg_overlap: true,
             };
             let mut virtual_s = 0.0;
             let wall = median_wall(reps, || {
@@ -606,11 +674,19 @@ pub struct GateLine {
     pub baseline_s: Option<f64>,
     pub current_s: Option<f64>,
     pub delta_pct: Option<f64>,
+    /// Achieved-GB/s regression percent (positive = current is slower),
+    /// present only when both sides report a rate — the memory-bound
+    /// entries.
+    pub gbps_delta_pct: Option<f64>,
     pub verdict: Verdict,
 }
 
 /// Diff `current` suites against `baseline`, flagging any entry whose
 /// median wall-clock regressed more than `warn_pct`/`fail_pct` percent.
+/// Memory-bound entries (those carrying a `gbps` rate on both sides) gate
+/// their achieved GB/s with the same bands: wall and rate only move
+/// together while the closed-form byte model stands still, so a kernel
+/// change that inflates the model cannot hide a bandwidth regression.
 /// Faster-than-baseline entries always pass (improvements are ratcheted in
 /// by regenerating the baseline, not blocked).
 pub fn gate(
@@ -620,20 +696,22 @@ pub fn gate(
     fail_pct: f64,
 ) -> Vec<GateLine> {
     let mut lines = Vec::new();
-    let find = |suite: &str, id: &str| -> Option<f64> {
-        current
-            .iter()
-            .find_map(|r| r.get(suite, id))
-            .map(|e| e.median_wall_s)
+    let find = |suite: &str, id: &str| -> Option<&BenchEntry> {
+        current.iter().find_map(|r| r.get(suite, id))
     };
     for suite in &baseline.suites {
         for e in &suite.entries {
             let line = match find(&suite.suite, &e.id) {
                 Some(cur) => {
-                    let delta = (cur - e.median_wall_s) / e.median_wall_s * 100.0;
-                    let verdict = if delta > fail_pct {
+                    let delta = (cur.median_wall_s - e.median_wall_s) / e.median_wall_s * 100.0;
+                    let gbps_delta = match (e.gbps, cur.gbps) {
+                        (Some(b), Some(c)) if b > 0.0 => Some((b - c) / b * 100.0),
+                        _ => None,
+                    };
+                    let worst = gbps_delta.map_or(delta, |g| delta.max(g));
+                    let verdict = if worst > fail_pct {
                         Verdict::Fail
-                    } else if delta > warn_pct {
+                    } else if worst > warn_pct {
                         Verdict::Warn
                     } else {
                         Verdict::Ok
@@ -642,8 +720,9 @@ pub fn gate(
                         suite: suite.suite.clone(),
                         id: e.id.clone(),
                         baseline_s: Some(e.median_wall_s),
-                        current_s: Some(cur),
+                        current_s: Some(cur.median_wall_s),
                         delta_pct: Some(delta),
+                        gbps_delta_pct: gbps_delta,
                         verdict,
                     }
                 }
@@ -653,6 +732,7 @@ pub fn gate(
                     baseline_s: Some(e.median_wall_s),
                     current_s: None,
                     delta_pct: None,
+                    gbps_delta_pct: None,
                     verdict: Verdict::Missing,
                 },
             };
@@ -670,6 +750,7 @@ pub fn gate(
                         baseline_s: None,
                         current_s: Some(e.median_wall_s),
                         delta_pct: None,
+                        gbps_delta_pct: None,
                         verdict: Verdict::New,
                     });
                 }
@@ -724,6 +805,41 @@ mod tests {
         let base = report("kernels", &[("a", 1.0)]);
         let cur = report("kernels", &[("a", 0.2)]);
         assert_eq!(gate(&base, &[cur], 5.0, 15.0)[0].verdict, Verdict::Ok);
+    }
+
+    #[test]
+    fn gbps_regression_fails_even_when_wall_improves() {
+        // A byte-model inflation can shrink the rate while the wall-clock
+        // gets faster — the gate must still flag it on memory-bound
+        // entries, and must ignore gbps when either side lacks it.
+        let with_rate = |wall: f64, gbps: Option<f64>| {
+            BenchReport::new(vec![BenchSuite {
+                suite: "kernels".into(),
+                entries: vec![BenchEntry {
+                    id: "spmv".into(),
+                    reps: 3,
+                    median_wall_s: wall,
+                    gflops: None,
+                    gbps,
+                    virtual_s: None,
+                }],
+            }])
+        };
+        let base = with_rate(1.0, Some(10.0));
+        let lines = gate(&base, &[with_rate(0.9, Some(7.0))], 5.0, 15.0);
+        assert_eq!(lines[0].verdict, Verdict::Fail);
+        assert!((lines[0].gbps_delta_pct.unwrap() - 30.0).abs() < 1e-12);
+        let lines = gate(&base, &[with_rate(0.9, Some(9.5))], 5.0, 15.0);
+        assert_eq!(lines[0].verdict, Verdict::Ok, "within band");
+        // Pre-gbps baselines (rate absent) fall back to wall-only gating.
+        let lines = gate(
+            &with_rate(1.0, None),
+            &[with_rate(0.9, Some(1.0))],
+            5.0,
+            15.0,
+        );
+        assert_eq!(lines[0].verdict, Verdict::Ok);
+        assert!(lines[0].gbps_delta_pct.is_none());
     }
 
     #[test]

@@ -115,8 +115,8 @@ fn main() {
     let lines = gate(&baseline, &current, args.warn_pct, args.fail_pct);
 
     println!(
-        "{:<10} {:<22} {:>12} {:>12} {:>8}  verdict",
-        "suite", "id", "baseline(s)", "current(s)", "Δ%"
+        "{:<10} {:<22} {:>12} {:>12} {:>8} {:>8}  verdict",
+        "suite", "id", "baseline(s)", "current(s)", "Δ%", "GB/sΔ%"
     );
     let mut failed = false;
     for l in &lines {
@@ -135,18 +135,19 @@ fn main() {
             Verdict::New => "new",
         };
         println!(
-            "{:<10} {:<22} {:>12} {:>12} {:>8}  {verdict}",
+            "{:<10} {:<22} {:>12} {:>12} {:>8} {:>8}  {verdict}",
             l.suite,
             l.id,
             fmt(l.baseline_s),
             fmt(l.current_s),
             l.delta_pct.map_or("-".into(), |d| format!("{d:+.1}")),
+            l.gbps_delta_pct.map_or("-".into(), |d| format!("{d:+.1}")),
         );
     }
     let n_warn = lines.iter().filter(|l| l.verdict == Verdict::Warn).count();
     if failed {
         eprintln!(
-            "bench gate FAILED (>{:.0}% median wall-clock regression or lost coverage)",
+            "bench gate FAILED (>{:.0}% median wall-clock or delivered-GB/s regression, or lost coverage)",
             args.fail_pct
         );
         std::process::exit(1);

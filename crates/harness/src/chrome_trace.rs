@@ -22,12 +22,15 @@
 //! JSON — the property the golden-file test pins down.
 
 use crate::config::SolverChoice;
+use greenla_cg::solver::{pcg, CgConfig};
 use greenla_cluster::placement::{LoadLayout, Placement};
 use greenla_cluster::spec::ClusterSpec;
 use greenla_cluster::PowerModel;
 use greenla_ime::ft::solve_imep_ft;
 use greenla_ime::solve_imep;
 use greenla_linalg::generate;
+use greenla_linalg::generate::SystemKind;
+use greenla_linalg::sparse::{CsrMatrix, SparseSystem};
 use greenla_monitor::monitoring::MonitorConfig;
 use greenla_monitor::protocol::monitored_run;
 use greenla_mpi::{EventKind, FaultPlan, FaultReport, FaultSink, Machine, TraceEvent, TraceSink};
@@ -226,7 +229,20 @@ fn run_solve(machine: &Machine, solver: SolverChoice, n: usize, seed: u64) -> f6
         RaplSim::new(machine.ledger(), machine.power().clone(), seed)
             .with_faults(machine.faults().clone()),
     );
-    let sys = generate::diag_dominant(n, 3131);
+    // CG needs a symmetric positive definite operator (sparsified on
+    // entry, like the measurement runner); the dense solvers keep the
+    // diagonally dominant draw the golden trace was pinned on.
+    let sys = match solver {
+        SolverChoice::Cg { .. } => SystemKind::Spd.generate(n, 3131),
+        _ => generate::diag_dominant(n, 3131),
+    };
+    let sparse: Option<SparseSystem> =
+        matches!(solver, SolverChoice::Cg { .. }).then(|| SparseSystem {
+            a: CsrMatrix::from_dense(&sys.a),
+            b: sys.b.clone(),
+            x_ref: sys.x_ref.clone().unwrap_or_default(),
+        });
+    let sparse = &sparse;
     let mon_cfg = MonitorConfig {
         degrade_on_fault: faulted,
         ..MonitorConfig::default()
@@ -248,8 +264,13 @@ fn run_solve(machine: &Machine, solver: SolverChoice, n: usize, seed: u64) -> f6
                 SolverChoice::ScaLapack { nb } => {
                     pdgesv(ctx, &world, &sys, nb).expect("pdgesv solve");
                 }
-                SolverChoice::Cg { .. } => {
-                    unreachable!("trace figures sweep the dense solvers only")
+                SolverChoice::Cg { jacobi } => {
+                    let cfg = CgConfig {
+                        jacobi,
+                        ..CgConfig::default()
+                    };
+                    pcg(ctx, &world, sparse.as_ref().unwrap(), &cfg)
+                        .unwrap_or_else(|e| panic!("{e}"));
                 }
             }
             handle.phase(ctx, "execution").expect("phase mark");

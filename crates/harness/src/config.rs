@@ -109,11 +109,27 @@ pub struct FunctionalGrid {
     /// invariant; the knob trades OS threads for fibers at large P.
     #[serde(default = "Default::default")]
     pub scheduler: SchedulerKind,
+    /// Back-to-back solves per monitored window for every run of the
+    /// campaign (see `RunConfig::batch`); the runner normalises the
+    /// measured figures back to one solve. `1` — what every pre-existing
+    /// grid deserializes to — measures single solves.
+    #[serde(default = "one_batch")]
+    pub batch: usize,
 }
 
 /// Serde default for opt-in boolean knobs.
 pub(crate) fn default_false() -> bool {
     false
+}
+
+/// Serde default for opt-out boolean knobs.
+pub(crate) fn default_true() -> bool {
+    true
+}
+
+/// Serde default for batch knobs: one solve per monitored window.
+pub(crate) fn one_batch() -> usize {
+    1
 }
 
 impl Default for FunctionalGrid {
@@ -128,6 +144,7 @@ impl Default for FunctionalGrid {
             check: false,
             faults: None,
             scheduler: SchedulerKind::default(),
+            batch: 1,
         }
     }
 }

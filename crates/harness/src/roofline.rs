@@ -245,6 +245,21 @@ pub fn entry_profile(id: &str, tune: &Blocking) -> Option<KernelProfile> {
             let c = greenla_cg::formulas::cg_iter_cost(sn, snnz, 0, false);
             KernelProfile::sparse(c.flops, c.bytes, 1)
         }
+        // Same matrix and byte model as `spmv_2d_6m`, spread over the
+        // worker count the bench actually ran with (`GREENLA_SPMV_THREADS`
+        // or the host's cores) — this is the entry the acceptance pins to
+        // the *multi-core* memory ceiling.
+        "spmv_par_2d_6m" => KernelProfile::sparse(
+            flops::spmv(snnz),
+            flops::spmv_csr_bytes(sn, snnz),
+            greenla_linalg::sparse::default_spmv_workers(),
+        ),
+        // The overlapped solver's split sweep is an exact repartition of
+        // the block SpMV, so the iteration profile is `cg_iter_2d_6m`'s.
+        "cg_overlap_iter" => {
+            let c = greenla_cg::formulas::cg_iter_cost(sn, snnz, 0, false);
+            KernelProfile::sparse(c.flops, c.bytes, 1)
+        }
         "dgemm_packed_128" => packed(128, 1),
         "dgemm_packed_256" => packed(256, 1),
         "dgemm_packed_512" => packed(512, 1),
@@ -326,7 +341,9 @@ mod tests {
             "dtrsm_lower_512x256",
             "dtrsm_upper_512x256",
             "spmv_2d_6m",
+            "spmv_par_2d_6m",
             "cg_iter_2d_6m",
+            "cg_overlap_iter",
         ] {
             assert!(entry_profile(id, &tune).is_some(), "missing profile {id}");
         }
@@ -340,7 +357,12 @@ mod tests {
         // below any realistic machine balance, so the acceptance exercises
         // the bandwidth ceiling, not the flop ceilings.
         let tune = Blocking::default_blocking();
-        for id in ["spmv_2d_6m", "cg_iter_2d_6m"] {
+        for id in [
+            "spmv_2d_6m",
+            "spmv_par_2d_6m",
+            "cg_iter_2d_6m",
+            "cg_overlap_iter",
+        ] {
             let p = entry_profile(id, &tune).unwrap();
             let flops = p.simd_flops
                 + p.thin_simd_flops
@@ -369,5 +391,18 @@ mod tests {
         let tune = Blocking::default_blocking();
         let p = entry_profile("dgemm_par_1024_w4", &tune).unwrap();
         assert_eq!(p.workers, 4);
+    }
+
+    #[test]
+    fn parallel_spmv_entry_rides_the_worker_knob() {
+        // The profile must request exactly the worker count the bench ran
+        // with, so the CI `GREENLA_SPMV_THREADS` matrix leg validates the
+        // prediction at the swept count.
+        let tune = Blocking::default_blocking();
+        let p = entry_profile("spmv_par_2d_6m", &tune).unwrap();
+        assert_eq!(p.workers, greenla_linalg::sparse::default_spmv_workers());
+        let serial = entry_profile("spmv_2d_6m", &tune).unwrap();
+        assert_eq!(p.bytes, serial.bytes, "same closed-form byte model");
+        assert_eq!(p.reference_flops, serial.reference_flops);
     }
 }

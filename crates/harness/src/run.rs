@@ -2,7 +2,7 @@
 //! repeated and aggregated the way the paper runs its jobs (ten
 //! repetitions per configuration; we default to fewer but keep the knob).
 
-use crate::config::{default_false, FunctionalGrid, SolverChoice};
+use crate::config::{default_false, default_true, one_batch, FunctionalGrid, SolverChoice};
 use greenla_cg::solver::{pcg, CgConfig};
 use greenla_cluster::placement::{LoadLayout, Placement};
 use greenla_cluster::spec::ClusterSpec;
@@ -55,11 +55,12 @@ pub struct RunConfig {
     /// to — measures a single solve.
     #[serde(default = "one_batch")]
     pub batch: usize,
-}
-
-/// Serde default for [`RunConfig::batch`].
-fn one_batch() -> usize {
-    1
+    /// Overlap the CG halo exchange with the interior SpMV (the solver's
+    /// default; see `greenla_cg::solver::CgConfig::overlap`). `false`
+    /// forces the blocking exchange — numerics are bit-identical either
+    /// way, only the virtual clock moves. Ignored by the direct solvers.
+    #[serde(default = "default_true")]
+    pub cg_overlap: bool,
 }
 
 /// Serde default for the violations carried by older datasets.
@@ -186,6 +187,7 @@ pub fn run_once(cfg: &RunConfig) -> Measurement {
                     SolverChoice::Cg { jacobi } => {
                         let cg_cfg = CgConfig {
                             jacobi,
+                            overlap: cfg.cg_overlap,
                             ..CgConfig::default()
                         };
                         // Panic with the Display form so an abort surfaces the
@@ -252,6 +254,27 @@ pub fn run_once(cfg: &RunConfig) -> Measurement {
 /// every repetition, as the paper's file-based inputs guarantee).
 pub(crate) fn system_seed(cfg: &RunConfig) -> u64 {
     (cfg.n as u64) << 32 | cfg.ranks as u64
+}
+
+/// Normalise a batched measurement to a single solve. Energies and the
+/// window divide exactly (every solve in the batch is identical); traffic
+/// divides approximately — the monitoring protocol's own messages ride
+/// along once per window, not once per solve. Identity at `batch = 1`.
+pub fn per_solve(mut m: Measurement, batch: usize) -> Measurement {
+    let b = batch as f64;
+    m.duration_s /= b;
+    m.total_energy_j /= b;
+    m.pkg_energy_j /= b;
+    m.dram_energy_j /= b;
+    for v in &mut m.pkg_by_socket_j {
+        *v /= b;
+    }
+    for v in &mut m.dram_by_socket_j {
+        *v /= b;
+    }
+    m.msgs /= batch as u64;
+    m.volume_elems /= batch as u64;
+    m
 }
 
 /// Simple per-metric statistics over repetitions.
@@ -362,19 +385,23 @@ impl Dataset {
             ));
             let runs: Vec<Measurement> = (0..grid.reps)
                 .map(|rep| {
-                    run_once(&RunConfig {
-                        n,
-                        ranks,
-                        layout,
-                        solver,
-                        system: SystemKind::DiagDominant,
-                        cores_per_socket: grid.cores_per_socket,
-                        seed: grid.base_seed + rep as u64,
-                        check: grid.check,
-                        faults: grid.faults.clone(),
-                        scheduler: grid.scheduler,
-                        batch: 1,
-                    })
+                    per_solve(
+                        run_once(&RunConfig {
+                            n,
+                            ranks,
+                            layout,
+                            solver,
+                            system: SystemKind::DiagDominant,
+                            cores_per_socket: grid.cores_per_socket,
+                            seed: grid.base_seed + rep as u64,
+                            check: grid.check,
+                            faults: grid.faults.clone(),
+                            scheduler: grid.scheduler,
+                            batch: grid.batch,
+                            cg_overlap: true,
+                        }),
+                        grid.batch.max(1),
+                    )
                 })
                 .collect();
             DataPoint {

@@ -14,9 +14,11 @@
 //! roofline validation uses.
 
 use crate::config::SolverChoice;
-use crate::run::{run_once, system_seed, Aggregated, DataPoint, Dataset, Measurement, RunConfig};
+use crate::run::{
+    per_solve, run_once, system_seed, Aggregated, DataPoint, Dataset, Measurement, RunConfig,
+};
 use greenla_cg::formulas;
-use greenla_cg::partition::{HaloPlan, RowBlocks};
+use greenla_cg::partition::{HaloPlan, RowBlocks, RowSplit};
 use greenla_cluster::placement::LoadLayout;
 use greenla_cluster::spec::{ClusterSpec, NodeSpec};
 use greenla_cluster::PowerModel;
@@ -45,27 +47,6 @@ const TARGET_WINDOW_S: f64 = 0.05;
 
 /// Upper bound on the batch so a mis-probed duration cannot stall a run.
 const MAX_BATCH: usize = 1024;
-
-/// Normalise a batched measurement to a single solve. Energies and the
-/// window divide exactly (every solve in the batch is identical); traffic
-/// divides approximately — the monitoring protocol's own messages ride
-/// along once per window, not once per solve.
-fn per_solve(mut m: Measurement, batch: usize) -> Measurement {
-    let b = batch as f64;
-    m.duration_s /= b;
-    m.total_energy_j /= b;
-    m.pkg_energy_j /= b;
-    m.dram_energy_j /= b;
-    for v in &mut m.pkg_by_socket_j {
-        *v /= b;
-    }
-    for v in &mut m.dram_by_socket_j {
-        *v /= b;
-    }
-    m.msgs /= batch as u64;
-    m.volume_elems /= batch as u64;
-    m
-}
 
 /// Grid of the sparse campaign. Dimensions must be perfect squares
 /// ([`SystemKind::Poisson2d`] is a k×k 5-point stencil); all ranks run
@@ -197,6 +178,7 @@ pub fn campaign(grid: &SparseGrid, progress: impl Fn(&str) + Sync) -> (Dataset, 
                 faults: None,
                 scheduler: Default::default(),
                 batch: 1,
+                cg_overlap: true,
             };
             // Probe at batch 1 to size the monitored window, then measure.
             let probe = run_once(&cfg);
@@ -344,10 +326,11 @@ fn model_check(cfg: &RunConfig, point: &SparsePoint, m: &Measurement) -> ModelCh
 
     // Compute side: the straggler rank's closed-form time through the
     // spec roofline (ranks run concurrently, each on its own core).
-    let worst = costs
+    let (worst_rank, worst) = costs
         .iter()
         .copied()
-        .max_by(|a, b| {
+        .enumerate()
+        .max_by(|(_, a), (_, b)| {
             let t = |c: &formulas::IterCost| {
                 rf.predict(&KernelProfile::sparse(c.flops, c.bytes, 1))
                     .time_s
@@ -368,7 +351,8 @@ fn model_check(cfg: &RunConfig, point: &SparsePoint, m: &Measurement) -> ModelCh
     };
     let sys = cfg.system.generate(cfg.n, system_seed(cfg));
     let a = CsrMatrix::from_dense(&sys.a);
-    let plans = HaloPlan::build_all(&a, RowBlocks::new(cfg.n, cfg.ranks));
+    let blocks = RowBlocks::new(cfg.n, cfg.ranks);
+    let plans = HaloPlan::build_all(&a, blocks);
     // One exchange: the bottleneck rank drains its incoming messages.
     let halo_s = plans
         .iter()
@@ -379,11 +363,34 @@ fn model_check(cfg: &RunConfig, point: &SparsePoint, m: &Measurement) -> ModelCh
                 .sum::<f64>()
         })
         .fold(0.0, f64::max);
+    // The overlapped solver posts the halo first and computes its interior
+    // rows while the payloads are in flight, so every exchange hides
+    // `min(halo, interior)` seconds of communication. Charge the credit at
+    // the straggler rank's interior profile — the same rank the compute
+    // side models — and hand the reduced communication share to the energy
+    // prediction too.
+    let overlap_credit = if cfg.cg_overlap {
+        let split = RowSplit::build(&a, blocks, worst_rank);
+        let (interior, _) = formulas::spmv_split_cost(
+            split.interior.len(),
+            split.interior_nnz,
+            split.boundary.len(),
+            split.boundary_nnz,
+            plans[worst_rank].recv_elems(),
+        );
+        rf.overlap_credit(
+            &KernelProfile::sparse(interior.flops, interior.bytes, 1),
+            halo_s,
+        )
+    } else {
+        0.0
+    };
     let p = cfg.ranks;
-    let iter_comm = comm::allreduce(p, 8.0, &mi) + comm::allreduce(p, 16.0, &mi) + halo_s;
+    let iter_comm =
+        comm::allreduce(p, 8.0, &mi) + comm::allreduce(p, 16.0, &mi) + halo_s - overlap_credit;
     let comm_s = comm::allreduce(p, 16.0, &mi)
         + iters as f64 * iter_comm
-        + refreshes as f64 * halo_s
+        + refreshes as f64 * (halo_s - overlap_credit)
         + comm::allgather_ring(p, 8.0 * cfg.n as f64, &mi);
 
     let pred_wall_s = pred.time_s + comm_s;

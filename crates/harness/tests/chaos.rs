@@ -64,6 +64,7 @@ fn chaos_cfg(solver: SolverChoice, plan: FaultPlan) -> RunConfig {
         faults: Some(plan),
         scheduler: Default::default(),
         batch: 1,
+        cg_overlap: true,
     }
 }
 

@@ -48,6 +48,7 @@ fn checking_does_not_perturb_measurements() {
         faults: None,
         scheduler: Default::default(),
         batch: 1,
+        cg_overlap: true,
     };
     let checked = run_once(&cfg(true));
     let plain = run_once(&cfg(false));

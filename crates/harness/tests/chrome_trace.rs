@@ -154,6 +154,38 @@ fn monitor_choreography_is_visible() {
 }
 
 #[test]
+fn overlapped_cg_trace_carries_the_halo_and_split_spmv_spans() {
+    // The overlapped solver narrates each SpMV phase: post the halo,
+    // compute interior rows while payloads fly, drain, finish boundary
+    // rows. All four spans must reach the exporter on every rank, in
+    // matched numbers — one quartet per halo exchange.
+    let traced = traced_solve(SolverChoice::cg(), N, RANKS, SEED);
+    let events = trace_events(&traced.trace);
+    let begins = |name: &str| {
+        events
+            .iter()
+            .filter(|e| {
+                e.get("name").and_then(Value::as_str) == Some(name)
+                    && e.get("ph").and_then(Value::as_str) == Some("B")
+            })
+            .count()
+    };
+    let posts = begins("halo_post");
+    assert!(
+        posts >= RANKS,
+        "one halo_post per rank per exchange: {posts}"
+    );
+    assert_eq!(begins("spmv_interior"), posts);
+    assert_eq!(begins("halo_wait"), posts);
+    assert_eq!(begins("spmv_boundary"), posts);
+    assert_eq!(
+        posts % RANKS,
+        0,
+        "every rank exchanges the same number of times"
+    );
+}
+
+#[test]
 fn tracing_does_not_change_virtual_time() {
     let traced = traced_solve(SolverChoice::ime_optimized(), N, RANKS, SEED);
     let baseline = untraced_makespan(SolverChoice::ime_optimized(), N, RANKS, SEED);

@@ -126,19 +126,65 @@ fn run_attempt() -> (Vec<RooflineCheck>, f64) {
         // Release: the real pinned suite, every entry — the acceptance
         // check behind the ±30% figure.
         let suite = bench::kernel_suite(true);
-        let checks = roofline::validate_suite(&host, &suite);
+        let mut checks = roofline::validate_suite(&host, &suite);
         assert!(
-            checks.len() >= 11,
+            checks.len() >= 13,
             "suite shrank to {} measured entries",
             checks.len()
         );
         // The sparse entries must exercise the *memory* ceiling — the
-        // roofline classifying SpMV or the CG iteration as compute-bound
-        // means the bandwidth calibration (or the byte model) is broken,
-        // whatever their ratios say.
-        for id in ["spmv_2d_6m", "cg_iter_2d_6m"] {
+        // roofline classifying them as compute-bound means the bandwidth
+        // calibration (or the byte model) is broken, whatever their
+        // ratios say.
+        for id in [
+            "spmv_2d_6m",
+            "spmv_par_2d_6m",
+            "cg_iter_2d_6m",
+            "cg_overlap_iter",
+        ] {
             let c = checks.iter().find(|c| c.id == id).expect("sparse entry");
             assert!(!c.compute_bound, "{id} must sit on the memory ceiling");
+        }
+        // The parallel SpMV's ceiling is `workers ×` a *single-thread*
+        // bandwidth calibration. Workers cannot beat that ceiling (the
+        // lower side of the band stands), but a saturated memory
+        // controller legitimately delivers less than linear scaling, so
+        // the upper side is not a model error — drop the entry from the
+        // two-sided band and gate its scaling via the speedup acceptance
+        // below instead.
+        let par = checks
+            .iter()
+            .position(|c| c.id == "spmv_par_2d_6m")
+            .expect("parallel SpMV entry");
+        let c = checks.swap_remove(par);
+        assert!(
+            c.ratio >= 1.0 / (1.0 + tol),
+            "spmv_par_2d_6m beat the memory ceiling by >{:.0}%: ratio {:.3}",
+            tol * 100.0,
+            c.ratio
+        );
+        // Thread-scaling acceptance: on a genuinely multi-core runner the
+        // parallel SpMV must deliver ≥ 2.5× the serial entry's GB/s (same
+        // byte model, so the wall-clock ratio is the GB/s ratio).
+        let workers = greenla_linalg::sparse::default_spmv_workers()
+            .min(std::thread::available_parallelism().map_or(1, |p| p.get()));
+        if workers >= 4 {
+            let speedup = suite
+                .entries
+                .iter()
+                .find(|e| e.id == "spmv_2d_6m")
+                .map(|e| e.median_wall_s)
+                .expect("serial entry")
+                / suite
+                    .entries
+                    .iter()
+                    .find(|e| e.id == "spmv_par_2d_6m")
+                    .map(|e| e.median_wall_s)
+                    .expect("parallel entry");
+            assert!(
+                speedup >= 2.5,
+                "parallel SpMV speedup {speedup:.2}× < 2.5× at {workers} workers"
+            );
         }
         checks
     };

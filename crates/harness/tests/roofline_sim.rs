@@ -45,6 +45,7 @@ fn roofline_matches_simulated_rapl_on_compute_dominated_run() {
         faults: None,
         scheduler: Default::default(),
         batch: 1,
+        cg_overlap: true,
     };
     let m = run_once(&cfg);
     assert_eq!(m.nodes, 1);

@@ -39,6 +39,7 @@ fn cfg(solver: SolverChoice, check: bool) -> RunConfig {
         faults: None,
         scheduler: SchedulerKind::ThreadPerRank,
         batch: 1,
+        cg_overlap: true,
     }
 }
 
@@ -97,6 +98,35 @@ fn parked_and_polling_schedulers_agree() {
         let parked = run_once(&cfg(solver, false));
         assert!(polled.violations.is_empty(), "{:#?}", polled.violations);
         assert_bit_identical(&polled, &parked, "checked vs unchecked");
+    }
+}
+
+#[test]
+fn overlapped_and_blocking_cg_agree_on_everything_but_the_clock() {
+    // Halo/compute overlap is a *virtual-time* optimisation: it reorders
+    // wall work but never arithmetic, so the solution, the iteration and
+    // refresh counts, and the traffic ledger must be bit-identical to the
+    // blocking exchange — only durations (and hence energies) may move,
+    // and only downward.
+    for solver in [SolverChoice::cg(), SolverChoice::cg_jacobi()] {
+        let over = run_once(&cfg(solver, false));
+        let block = run_once(&RunConfig {
+            cg_overlap: false,
+            ..cfg(solver, false)
+        });
+        assert_eq!(over.residual.to_bits(), block.residual.to_bits());
+        assert_eq!(over.iterations, block.iterations, "iteration counts");
+        assert_eq!(over.refreshes, block.refreshes, "refresh counts");
+        assert_eq!(over.msgs, block.msgs, "message counts");
+        assert_eq!(over.volume_elems, block.volume_elems, "traffic volume");
+        assert!(
+            over.duration_s <= block.duration_s,
+            "overlap may only shrink the virtual window: {} vs {}",
+            over.duration_s,
+            block.duration_s
+        );
+        // And the overlapped path repeats bit-identically like every run.
+        assert_bit_identical(&over, &run_once(&cfg(solver, false)), "overlapped repeat");
     }
 }
 

@@ -99,6 +99,7 @@ fn run_once_respects_layout_node_count() {
         faults: None,
         scheduler: Default::default(),
         batch: 1,
+        cg_overlap: true,
     });
     assert_eq!(m.nodes, 4, "16 ranks at 4/node half-load = 4 nodes");
     assert!(m.residual < 1e-11);

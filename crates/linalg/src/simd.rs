@@ -199,6 +199,197 @@ pub fn active_kernel_set() -> KernelSet {
     kernel_set(resolved())
 }
 
+/// A CSR row-range SpMV kernel: for each local row `i`,
+/// `y[i] = Σ values[k]·x[col_idx[k]]` over `k ∈ row_ptr[i]..row_ptr[i+1]`.
+/// `row_ptr` holds `y.len() + 1` offsets indexing `col_idx`/`values`
+/// directly, so a contiguous sub-range of a larger matrix is expressed by
+/// slicing `row_ptr` alone and passing the full entry streams.
+///
+/// Unlike the dgemm microkernels (whose SIMD paths contract into FMA),
+/// **every** SpMV path accumulates each row strictly left to right with
+/// separate multiply and add, so all paths are bit-identical: the
+/// non-scalar paths differ only in unrolling and software prefetch of the
+/// irregular `x` gather stream, never in arithmetic order.
+pub type SpmvKernel =
+    fn(row_ptr: &[usize], col_idx: &[u32], values: &[f64], x: &[f64], y: &mut [f64]);
+
+/// The SpMV row-range kernel for `path`. Panics when the CPU cannot
+/// execute it — the same refused-dispatch contract as [`microkernel`]:
+/// a CI job forcing `avx2` can never green-light the scalar loop.
+pub fn spmv_kernel(path: KernelPath) -> SpmvKernel {
+    assert!(
+        path.supported(),
+        "kernel path {path} is not supported by this CPU"
+    );
+    match path {
+        KernelPath::Scalar => spmv_range_scalar,
+        #[cfg(target_arch = "x86_64")]
+        KernelPath::Avx2 => spmv_range_avx2_entry,
+        #[cfg(target_arch = "x86_64")]
+        KernelPath::Avx512 => spmv_range_avx512_entry,
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => unreachable!("non-scalar paths are never supported off x86_64"),
+    }
+}
+
+/// The SpMV kernel the dispatcher picked for this process.
+pub fn active_spmv_kernel() -> SpmvKernel {
+    spmv_kernel(resolved())
+}
+
+/// The portable scalar SpMV row-range kernel — the bit-exact oracle the
+/// property tests compare against (and, because no path contracts into
+/// FMA, also the exact result of every other path).
+pub fn spmv_range_scalar(
+    row_ptr: &[usize],
+    col_idx: &[u32],
+    values: &[f64],
+    x: &[f64],
+    y: &mut [f64],
+) {
+    assert_eq!(row_ptr.len(), y.len() + 1, "row_ptr spans the output rows");
+    for (i, yi) in y.iter_mut().enumerate() {
+        let mut acc = 0.0;
+        for k in row_ptr[i]..row_ptr[i + 1] {
+            acc += values[k] * x[col_idx[k] as usize];
+        }
+        *yi = acc;
+    }
+}
+
+/// How many entries ahead of the current position the unrolled kernel
+/// prefetches the gathered `x` operand. The stencil systems gather with
+/// large strides (`±k` for a `k×k` grid), so the hardware prefetcher never
+/// sees the pattern; 64 entries ≈ 8 cache lines of the value stream keeps
+/// the gather line fetch ahead of the ~100 ns DRAM latency at memory-bound
+/// throughput.
+#[cfg(target_arch = "x86_64")]
+const SPMV_PREFETCH_DIST: usize = 64;
+
+/// Unrolled + software-prefetch SpMV body shared by the AVX2 and AVX-512
+/// entries (the win is the prefetch of the irregular gather plus the
+/// 4-way unroll, not ISA-specific arithmetic — the `#[target_feature]`
+/// wrappers exist so the dispatch legs stay meaningful and LLVM may use
+/// the wider encodings). Accumulation is strictly left to right, exactly
+/// [`spmv_range_scalar`]'s order, so results are bit-identical to it.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+fn spmv_range_unrolled_body(
+    row_ptr: &[usize],
+    col_idx: &[u32],
+    values: &[f64],
+    x: &[f64],
+    y: &mut [f64],
+) {
+    use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+    assert_eq!(row_ptr.len(), y.len() + 1, "row_ptr spans the output rows");
+    let last = row_ptr[y.len()].saturating_sub(1);
+    for (i, yi) in y.iter_mut().enumerate() {
+        let (s, e) = (row_ptr[i], row_ptr[i + 1]);
+        let mut acc = 0.0;
+        let mut k = s;
+        while k + 4 <= e {
+            let ahead = col_idx[(k + SPMV_PREFETCH_DIST).min(last)] as usize;
+            // SAFETY: prefetch is a hint — it never dereferences
+            // architecturally and cannot fault, and `wrapping_add` keeps
+            // the address computation defined even if `ahead` were out of
+            // bounds for `x` (it is in range for every valid CSR matrix;
+            // the arithmetic below still bounds-checks the real loads).
+            unsafe {
+                _mm_prefetch::<_MM_HINT_T0>(x.as_ptr().wrapping_add(ahead) as *const i8);
+            }
+            acc += values[k] * x[col_idx[k] as usize];
+            acc += values[k + 1] * x[col_idx[k + 1] as usize];
+            acc += values[k + 2] * x[col_idx[k + 2] as usize];
+            acc += values[k + 3] * x[col_idx[k + 3] as usize];
+            k += 4;
+        }
+        while k < e {
+            acc += values[k] * x[col_idx[k] as usize];
+            k += 1;
+        }
+        *yi = acc;
+    }
+}
+
+/// Safe entry for the AVX2 SpMV kernel, handed out only by
+/// [`spmv_kernel`].
+#[cfg(target_arch = "x86_64")]
+fn spmv_range_avx2_entry(
+    row_ptr: &[usize],
+    col_idx: &[u32],
+    values: &[f64],
+    x: &[f64],
+    y: &mut [f64],
+) {
+    debug_assert!(KernelPath::Avx2.supported());
+    // SAFETY: this entry is only reachable through `spmv_kernel`, which
+    // panics unless `is_x86_feature_detected!` confirmed avx2+fma; the
+    // kernel body uses bounds-checked indexing throughout.
+    unsafe { spmv_range_avx2(row_ptr, col_idx, values, x, y) }
+}
+
+/// Safe entry for the AVX-512F SpMV kernel, handed out only by
+/// [`spmv_kernel`].
+#[cfg(target_arch = "x86_64")]
+fn spmv_range_avx512_entry(
+    row_ptr: &[usize],
+    col_idx: &[u32],
+    values: &[f64],
+    x: &[f64],
+    y: &mut [f64],
+) {
+    debug_assert!(KernelPath::Avx512.supported());
+    // SAFETY: this entry is only reachable through `spmv_kernel`, which
+    // panics unless `is_x86_feature_detected!` confirmed avx512f; the
+    // kernel body uses bounds-checked indexing throughout.
+    unsafe { spmv_range_avx512(row_ptr, col_idx, values, x, y) }
+}
+
+/// AVX2-compiled unrolled + prefetch SpMV range kernel (see
+/// [`spmv_range_unrolled_body`] — bit-identical to the scalar oracle).
+///
+/// # Safety
+///
+/// Dispatch contract: the caller must have verified `avx2` and `fma` via
+/// `is_x86_feature_detected!` (the [`spmv_kernel`] dispatcher is the only
+/// caller and does exactly that). All memory accesses in the body are
+/// bounds-checked slice indexing; the only raw-pointer use is the
+/// never-faulting prefetch hint.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn spmv_range_avx2(
+    row_ptr: &[usize],
+    col_idx: &[u32],
+    values: &[f64],
+    x: &[f64],
+    y: &mut [f64],
+) {
+    spmv_range_unrolled_body(row_ptr, col_idx, values, x, y);
+}
+
+/// AVX-512F-compiled unrolled + prefetch SpMV range kernel (see
+/// [`spmv_range_unrolled_body`] — bit-identical to the scalar oracle).
+///
+/// # Safety
+///
+/// Dispatch contract: the caller must have verified `avx512f` via
+/// `is_x86_feature_detected!` (the [`spmv_kernel`] dispatcher is the only
+/// caller and does exactly that). All memory accesses in the body are
+/// bounds-checked slice indexing; the only raw-pointer use is the
+/// never-faulting prefetch hint.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn spmv_range_avx512(
+    row_ptr: &[usize],
+    col_idx: &[u32],
+    values: &[f64],
+    x: &[f64],
+    y: &mut [f64],
+) {
+    spmv_range_unrolled_body(row_ptr, col_idx, values, x, y);
+}
+
 /// The portable scalar microkernel: `MR`/`NR` are compile-time constants
 /// and the panel rows are fixed-size arrays, so LLVM fully unrolls the
 /// tile and vectorises the row dimension. Kept as the bit-exact oracle:
@@ -477,6 +668,69 @@ mod tests {
         assert!(path.supported());
         // Cached: a second call answers identically.
         assert_eq!(resolved(), path);
+    }
+
+    /// A ragged CSR-shaped pattern: row `i` holds `i % 7` entries at
+    /// pseudo-random columns — exercises empty rows, short tails and the
+    /// unrolled body in one sweep.
+    fn csr_pattern(rows: usize, n: usize) -> (Vec<usize>, Vec<u32>, Vec<f64>) {
+        let mut row_ptr = vec![0usize];
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for i in 0..rows {
+            for e in 0..i % 7 {
+                col_idx.push(((i * 31 + e * 17) % n) as u32);
+                values.push(((i * 13 + e * 5) % 11) as f64 * 0.25 - 1.25);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        (row_ptr, col_idx, values)
+    }
+
+    #[test]
+    fn spmv_paths_are_bit_identical_to_the_scalar_oracle() {
+        let (rows, n) = (123, 64);
+        let (row_ptr, col_idx, values) = csr_pattern(rows, n);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let mut want = vec![0.0; rows];
+        spmv_range_scalar(&row_ptr, &col_idx, &values, &x, &mut want);
+        for path in [KernelPath::Avx2, KernelPath::Avx512] {
+            if !path.supported() {
+                continue;
+            }
+            let mut got = vec![f64::NAN; rows];
+            spmv_kernel(path)(&row_ptr, &col_idx, &values, &x, &mut got);
+            assert_eq!(got, want, "{path}");
+        }
+    }
+
+    #[test]
+    fn spmv_kernel_handles_empty_ranges() {
+        for path in [KernelPath::Scalar, KernelPath::Avx2, KernelPath::Avx512] {
+            if !path.supported() {
+                continue;
+            }
+            let mut y: Vec<f64> = Vec::new();
+            spmv_kernel(path)(&[0], &[], &[], &[], &mut y);
+            assert!(y.is_empty(), "{path}");
+        }
+    }
+
+    #[test]
+    fn active_spmv_kernel_matches_the_resolved_path() {
+        assert_eq!(
+            active_spmv_kernel() as usize,
+            spmv_kernel(resolved()) as usize
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported")]
+    fn requesting_an_unsupported_spmv_kernel_panics() {
+        if KernelPath::Avx512.supported() {
+            panic!("kernel path avx512 is not supported (skip: CPU has avx512f)");
+        }
+        spmv_kernel(KernelPath::Avx512);
     }
 
     #[test]

@@ -11,10 +11,12 @@
 
 use crate::generate::{reference_solution, LinearSystem};
 use crate::matrix::Matrix;
+use crate::simd::{self, KernelPath, SpmvKernel};
 use rand::distributions::{Distribution, Uniform};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// Square sparse matrix in compressed-sparse-row form.
 ///
@@ -106,20 +108,25 @@ impl CsrMatrix {
             .collect()
     }
 
-    /// Sequential SpMV: `y = A·x`. Flop count is
+    /// Sequential SpMV: `y = A·x` on the dispatched
+    /// [`crate::simd::spmv_kernel`] path. Flop count is
     /// [`crate::flops::spmv`]`(nnz)`, DRAM traffic
-    /// [`crate::flops::spmv_csr_bytes`]`(n, nnz)`.
+    /// [`crate::flops::spmv_csr_bytes`]`(n, nnz)`. Every kernel path
+    /// accumulates rows in the same left-to-right order, so results are
+    /// bit-identical across `GREENLA_KERNEL` settings.
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n);
         assert_eq!(y.len(), self.n);
-        for (i, yi) in y.iter_mut().enumerate() {
-            let (cols, vals) = self.row(i);
-            let mut acc = 0.0;
-            for (&j, &v) in cols.iter().zip(vals) {
-                acc += v * x[j as usize];
-            }
-            *yi = acc;
-        }
+        simd::active_spmv_kernel()(&self.row_ptr, &self.col_idx, &self.values, x, y);
+    }
+
+    /// [`Self::spmv`] pinned to an explicit [`KernelPath`] (panics when
+    /// the CPU cannot execute it) — the cross-path property tests compare
+    /// kernels through here.
+    pub fn spmv_path(&self, path: KernelPath, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.local_rows());
+        simd::spmv_kernel(path)(&self.row_ptr, &self.col_idx, &self.values, x, y);
     }
 
     /// Convenience allocating SpMV (tests and reference paths).
@@ -165,19 +172,123 @@ impl CsrMatrix {
     }
 
     /// SpMV restricted to a row block: `y[i] = Σ A[lo+i, j]·x[j]` with `x`
-    /// spanning the full (global) column space.
+    /// spanning the full (global) column space, on the dispatched kernel
+    /// path (bit-identical across paths, like [`Self::spmv`]).
     pub fn spmv_block(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n);
         assert_eq!(y.len(), self.local_rows());
-        for (i, yi) in y.iter_mut().enumerate() {
-            let span = self.row_ptr[i]..self.row_ptr[i + 1];
+        simd::active_spmv_kernel()(&self.row_ptr, &self.col_idx, &self.values, x, y);
+    }
+
+    /// SpMV over an arbitrary subset of local rows: `y[i] = Σ A[i,j]·x[j]`
+    /// for each `i` in `rows`, leaving every other slot of `y` untouched.
+    /// Each row accumulates left to right — the same order every kernel
+    /// path uses — so computing a partition of the rows in any subset
+    /// order is bit-identical to one [`Self::spmv_block`] sweep (the
+    /// overlapped CG solver's interior/boundary split relies on exactly
+    /// this).
+    pub fn spmv_rows(&self, rows: &[usize], x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.local_rows());
+        for &i in rows {
+            let (cols, vals) = self.row(i);
             let mut acc = 0.0;
-            for (&j, &v) in self.col_idx[span.clone()].iter().zip(&self.values[span]) {
+            for (&j, &v) in cols.iter().zip(vals) {
                 acc += v * x[j as usize];
             }
-            *yi = acc;
+            y[i] = acc;
         }
     }
+
+    /// Multithreaded row-block SpMV with [`default_spmv_workers`] threads
+    /// on the dispatched kernel path. Row-partitioned: each `y[i]` is
+    /// produced by exactly one worker running the same per-row
+    /// accumulation as the sequential kernel, so the result is *bitwise*
+    /// identical to [`Self::spmv_block`] for every worker count.
+    pub fn spmv_parallel(&self, x: &[f64], y: &mut [f64]) {
+        self.spmv_parallel_with(x, y, default_spmv_workers());
+    }
+
+    /// [`Self::spmv_parallel`] with an explicit worker count.
+    pub fn spmv_parallel_with(&self, x: &[f64], y: &mut [f64], workers: usize) {
+        self.spmv_parallel_kernel(simd::active_spmv_kernel(), x, y, workers);
+    }
+
+    /// [`Self::spmv_parallel`] pinned to an explicit [`KernelPath`] and
+    /// worker count (panics when the CPU cannot execute the path) — the
+    /// cross-path property tests compare parallel results against the
+    /// sequential oracle per path through here.
+    pub fn spmv_parallel_path(&self, path: KernelPath, x: &[f64], y: &mut [f64], workers: usize) {
+        self.spmv_parallel_kernel(simd::spmv_kernel(path), x, y, workers);
+    }
+
+    fn spmv_parallel_kernel(&self, kernel: SpmvKernel, x: &[f64], y: &mut [f64], workers: usize) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.local_rows());
+        let rows = self.local_rows();
+        let chunks = workers.min(rows / MIN_ROWS_PER_WORKER.max(1)).max(1);
+        if chunks <= 1 {
+            kernel(&self.row_ptr, &self.col_idx, &self.values, x, y);
+            return;
+        }
+        // Carve y into `chunks` contiguous row ranges tiling [0, rows);
+        // each worker gets the matching row_ptr window over the shared
+        // entry streams. Disjoint `split_at_mut` slices — no locks, no
+        // write sharing beyond cache-line spill at chunk edges.
+        let mut jobs: Vec<(&[usize], &mut [f64])> = Vec::with_capacity(chunks);
+        let mut rest = y;
+        let mut lo = 0usize;
+        for i in 0..chunks {
+            let hi = if i + 1 == chunks {
+                rows
+            } else {
+                (i + 1) * rows / chunks
+            };
+            debug_assert!(hi > lo);
+            let (chunk, tail) = rest.split_at_mut(hi - lo);
+            rest = tail;
+            jobs.push((&self.row_ptr[lo..=hi], chunk));
+            lo = hi;
+        }
+        let run = |(rp, yc): (&[usize], &mut [f64])| {
+            kernel(rp, &self.col_idx, &self.values, x, yc);
+        };
+        std::thread::scope(|s| {
+            let mut it = jobs.into_iter();
+            // The first chunk runs on the calling thread; only the rest
+            // spawn.
+            let head = it.next();
+            let handles: Vec<_> = it.map(|job| s.spawn(move || run(job))).collect();
+            if let Some(job) = head {
+                run(job);
+            }
+            for h in handles {
+                h.join().expect("spmv worker panicked");
+            }
+        });
+    }
+}
+
+/// Row chunks below this height run sequentially: thread spawn overhead
+/// (~10 µs) dwarfs a few thousand rows of memory-bound work.
+const MIN_ROWS_PER_WORKER: usize = 1024;
+
+/// Worker count used by [`CsrMatrix::spmv_parallel`]: the
+/// `GREENLA_SPMV_THREADS` environment variable when set (must parse to
+/// ≥ 1), otherwise the host's available parallelism. Resolved once and
+/// cached — the same contract as [`crate::par::default_workers`].
+pub fn default_spmv_workers() -> usize {
+    static WORKERS: OnceLock<usize> = OnceLock::new();
+    *WORKERS.get_or_init(|| match std::env::var("GREENLA_SPMV_THREADS") {
+        Ok(v) => {
+            let w: usize = v.parse().unwrap_or_else(|_| {
+                panic!("GREENLA_SPMV_THREADS must be a positive integer, got `{v}`")
+            });
+            assert!(w >= 1, "GREENLA_SPMV_THREADS must be >= 1");
+            w
+        }
+        Err(_) => std::thread::available_parallelism().map_or(1, |p| p.get()),
+    })
 }
 
 /// A sparse SPD linear system `A·x = b` with a known reference solution.
@@ -469,6 +580,105 @@ mod tests {
     #[should_panic(expected = "perfect square")]
     fn laplace2d_rejects_non_square() {
         let _ = SparseKind::Laplace2d.generate(10, 0);
+    }
+
+    /// Seeded awkward shapes for the parallel/dispatch property tests:
+    /// empty rows, a dense row, single-entry rows, n = 0 and n = 1.
+    fn awkward_shapes() -> Vec<CsrMatrix> {
+        let n = 37;
+        let mixed = CsrMatrix::from_rows(
+            (0..n)
+                .map(|i| match i % 4 {
+                    0 => Vec::new(),                                    // empty row
+                    1 => (0..n).map(|j| (j, 0.5 - j as f64)).collect(), // dense row
+                    2 => vec![(i, 2.0)],
+                    _ => vec![(i / 2, -1.0), (i, 3.0)],
+                })
+                .collect(),
+        );
+        vec![
+            mixed,
+            CsrMatrix::from_rows(Vec::new()),           // n = 0
+            CsrMatrix::from_rows(vec![vec![(0, 2.5)]]), // n = 1
+            CsrMatrix::from_rows(vec![Vec::new()]),     // n = 1, empty row
+            laplace2d(96).a,                            // 9216 rows: real splits at 8 workers
+            random_spd(1500, 5, 3).a,
+        ]
+    }
+
+    #[test]
+    fn spmv_parallel_is_bitwise_equal_to_sequential_for_any_worker_count() {
+        for a in awkward_shapes() {
+            let x: Vec<f64> = (0..a.n()).map(|i| (i as f64 * 0.31).cos()).collect();
+            let mut want = vec![0.0; a.local_rows()];
+            a.spmv(&x, &mut want);
+            for workers in [1, 3, 8] {
+                let mut got = vec![f64::NAN; a.local_rows()];
+                a.spmv_parallel_with(&x, &mut got, workers);
+                assert!(
+                    got.iter()
+                        .zip(&want)
+                        .all(|(g, w)| g.to_bits() == w.to_bits()),
+                    "n={} workers={workers}",
+                    a.n()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_kernel_paths_are_bit_identical_on_matrices() {
+        use crate::simd::KernelPath;
+        for a in awkward_shapes() {
+            let x: Vec<f64> = (0..a.n()).map(|i| 1.0 / (1.0 + i as f64)).collect();
+            let mut want = vec![0.0; a.local_rows()];
+            a.spmv_path(KernelPath::Scalar, &x, &mut want);
+            for path in [KernelPath::Avx2, KernelPath::Avx512] {
+                if !path.supported() {
+                    continue;
+                }
+                for workers in [1, 3] {
+                    let mut got = vec![f64::NAN; a.local_rows()];
+                    a.spmv_parallel_path(path, &x, &mut got, workers);
+                    assert!(
+                        got.iter()
+                            .zip(&want)
+                            .all(|(g, w)| g.to_bits() == w.to_bits()),
+                        "n={} {path} workers={workers}",
+                        a.n()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spmv_rows_partition_reassembles_the_block_sweep() {
+        let sys = laplace2d(8);
+        let a = sys.a.row_block(10, 50);
+        let x: Vec<f64> = (0..sys.n()).map(|i| (i as f64).sqrt()).collect();
+        let mut want = vec![0.0; a.local_rows()];
+        a.spmv_block(&x, &mut want);
+        // Odd rows first, then even: subset order must not matter.
+        let odd: Vec<usize> = (0..a.local_rows()).filter(|i| i % 2 == 1).collect();
+        let even: Vec<usize> = (0..a.local_rows()).filter(|i| i % 2 == 0).collect();
+        let mut got = vec![f64::NAN; a.local_rows()];
+        a.spmv_rows(&odd, &x, &mut got);
+        a.spmv_rows(&even, &x, &mut got);
+        assert!(got
+            .iter()
+            .zip(&want)
+            .all(|(g, w)| g.to_bits() == w.to_bits()));
+    }
+
+    #[test]
+    fn default_spmv_workers_is_cached_and_honours_the_env() {
+        let w = default_spmv_workers();
+        assert!(w >= 1);
+        if let Ok(v) = std::env::var("GREENLA_SPMV_THREADS") {
+            assert_eq!(w, v.parse::<usize>().unwrap(), "env override respected");
+        }
+        assert_eq!(default_spmv_workers(), w);
     }
 
     #[test]

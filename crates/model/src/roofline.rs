@@ -224,6 +224,31 @@ impl Roofline {
         }
     }
 
+    /// Predicted virtual time of one overlapped SpMV phase: the halo
+    /// exchange is posted first, the interior rows are computed while the
+    /// payloads are in flight, and the boundary rows run after the drain —
+    /// so the phase costs `max(halo_s, interior) + boundary`, exactly the
+    /// recurrence the overlapped solver's clock follows.
+    pub fn overlapped_phase_s(
+        &self,
+        interior: &KernelProfile,
+        boundary: &KernelProfile,
+        halo_s: f64,
+    ) -> f64 {
+        self.predict(interior).time_s.max(halo_s) + self.predict(boundary).time_s
+    }
+
+    /// Communication seconds one overlapped exchange hides under the
+    /// interior compute: `min(halo_s, interior)`. A whole-solve makespan
+    /// prediction subtracts this credit once per exchange from the
+    /// blocking-model wall time — the harness's sparse `model_check` does
+    /// exactly that, and feeds the reduced communication share into
+    /// [`Self::predict_energy`] so the predicted joules drop with the
+    /// hidden seconds.
+    pub fn overlap_credit(&self, interior: &KernelProfile, halo_s: f64) -> f64 {
+        halo_s.min(self.predict(interior).time_s)
+    }
+
     /// Predicted energy of a job whose per-rank work is `per_rank` and
     /// whose non-compute (communication) share of the makespan is
     /// `comm_s`: the roofline supplies the compute time, and
@@ -347,6 +372,34 @@ mod tests {
         let mut r = rf();
         r.mem_bw = 0.0;
         r.predict(&KernelProfile::default());
+    }
+
+    #[test]
+    fn overlapped_phase_hides_the_smaller_of_halo_and_interior() {
+        let r = rf();
+        // Memory-bound slices: 1e9 bytes interior (0.05 s), 4e8 boundary
+        // (0.02 s) at 20 GB/s.
+        let interior = KernelProfile::sparse(1_000_000, 1_000_000_000, 1);
+        let boundary = KernelProfile::sparse(400_000, 400_000_000, 1);
+        let (ti, tb) = (0.05, 0.02);
+        // Halo shorter than the interior: fully hidden.
+        let t = r.overlapped_phase_s(&interior, &boundary, 0.01);
+        assert!((t - (ti + tb)).abs() < 1e-12, "t {t}");
+        assert!((r.overlap_credit(&interior, 0.01) - 0.01).abs() < 1e-15);
+        // Halo longer: the exchange sets the pace, credit caps at interior.
+        let t = r.overlapped_phase_s(&interior, &boundary, 0.09);
+        assert!((t - (0.09 + tb)).abs() < 1e-12, "t {t}");
+        assert!((r.overlap_credit(&interior, 0.09) - ti).abs() < 1e-12);
+        // Identity: blocking time minus the credit is the overlapped time.
+        for halo in [0.0, 0.01, 0.05, 0.09] {
+            let blocking = halo + ti + tb;
+            let overlapped = r.overlapped_phase_s(&interior, &boundary, halo);
+            let credit = r.overlap_credit(&interior, halo);
+            assert!(
+                (blocking - credit - overlapped).abs() < 1e-12,
+                "halo {halo}"
+            );
+        }
     }
 
     #[test]
